@@ -1,0 +1,409 @@
+// Benchmarks regenerating every figure of the paper's evaluation, plus
+// ablation benchmarks for the design choices called out in DESIGN.md §6.
+//
+// Figure benchmarks wrap the internal/bench harness (virtual time: a
+// "120-second" learner run costs milliseconds of wall clock). Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured commentary.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bench"
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/filetransfer"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+	"github.com/kompics/kompicsmessaging-go/internal/rl"
+	"github.com/kompics/kompicsmessaging-go/internal/udt"
+)
+
+// --- figures -------------------------------------------------------------------
+
+// BenchmarkFigure1 regenerates the selection-ratio distributions (fig. 1):
+// 160,000 selections per policy per target, summarised over episode and
+// wire windows.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure1(int64(i + 1))
+		if len(rows) != 16 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// benchLearnerFigure runs one learner figure per iteration.
+func benchLearnerFigure(b *testing.B, gen func(int64) ([]bench.LearnerSeries, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		series, err := gen(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the pattern-vs-probabilistic learner
+// comparison (fig. 2): four 60-second virtual-time runs.
+func BenchmarkFigure2(b *testing.B) { benchLearnerFigure(b, bench.Figure2) }
+
+// BenchmarkFigure4 regenerates the matrix-backend learner run (fig. 4).
+func BenchmarkFigure4(b *testing.B) { benchLearnerFigure(b, bench.Figure4) }
+
+// BenchmarkFigure5 regenerates the model-based learner run (fig. 5).
+func BenchmarkFigure5(b *testing.B) { benchLearnerFigure(b, bench.Figure5) }
+
+// BenchmarkFigure6 regenerates the approximation-backend learner run
+// (fig. 6).
+func BenchmarkFigure6(b *testing.B) { benchLearnerFigure(b, bench.Figure6) }
+
+// BenchmarkFigure8 regenerates the control-latency experiment (fig. 8)
+// across all four setups and five scenarios.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure8(bench.Fig8Options{
+			Pings:  15,
+			Warmup: 20 * time.Second,
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the throughput-vs-RTT experiment (fig. 9)
+// with the paper's 395 MB dataset and its ≥10-runs RSE stopping rule.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure9(bench.Fig9Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- ablations -------------------------------------------------------------------
+
+// BenchmarkPatternSelector measures the per-message cost of pattern
+// selection — the paper argues patterns must stay cheap because they sit
+// on the data path.
+func BenchmarkPatternSelector(b *testing.B) {
+	sel := data.NewPatternSelection(data.MustRatio(3, 100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sel.Select()
+	}
+}
+
+// BenchmarkRandomSelector measures the per-message cost of Bernoulli
+// selection.
+func BenchmarkRandomSelector(b *testing.B) {
+	sel := data.NewRandomSelection(data.MustRatio(3, 100), rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sel.Select()
+	}
+}
+
+// BenchmarkSerialization measures the codec pipeline on a 65 kB message,
+// with and without the compression stage (paper: Snappy by default; here
+// DEFLATE on incompressible data, the paper's worst case).
+func BenchmarkSerialization(b *testing.B) {
+	payload := make([]byte, 65<<10)
+	rand.New(rand.NewSource(1)).Read(payload)
+	msg := &core.DataMsg{
+		Hdr: core.NewHeader(
+			core.MustParseAddress("10.0.0.1:1"),
+			core.MustParseAddress("10.0.0.2:2"),
+			core.TCP,
+		),
+		Payload: payload,
+	}
+	reg := core.NewRegistry()
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		var buf writerBuffer
+		for i := 0; i < b.N; i++ {
+			buf.reset()
+			if err := reg.Encode(&buf, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode+flate", func(b *testing.B) {
+		comp := codec.NewFlate(-1)
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		var buf writerBuffer
+		for i := 0; i < b.N; i++ {
+			buf.reset()
+			if err := reg.Encode(&buf, msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := comp.Compress(buf.data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// writerBuffer is a trivial reusable byte sink.
+type writerBuffer struct{ data []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+func (w *writerBuffer) reset() { w.data = w.data[:0] }
+
+// BenchmarkKompicsThroughput measures component-event throughput for
+// several MaxEvents settings — the paper's throughput/fairness knob
+// (§II-A).
+func BenchmarkKompicsThroughput(b *testing.B) {
+	for _, maxEvents := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("maxEvents=%d", maxEvents), func(b *testing.B) {
+			sys := kompics.NewSystem(kompics.WithMaxEvents(maxEvents))
+			defer sys.Shutdown()
+
+			pt := kompics.NewPortType(fmt.Sprintf("bench-%d", maxEvents)).
+				Request(benchEvent{}).
+				Indication(benchAck{})
+
+			var wg sync.WaitGroup
+			echo := &benchEcho{pt: pt}
+			echoComp := sys.Create(echo)
+			sink := &benchSink{pt: pt, wg: &wg}
+			sinkComp := sys.Create(sink)
+			kompics.MustConnect(echo.port, sink.port)
+			sys.Start(echoComp)
+			sys.Start(sinkComp)
+
+			b.ResetTimer()
+			wg.Add(b.N)
+			for i := 0; i < b.N; i++ {
+				sink.inject(benchEvent{})
+			}
+			wg.Wait()
+		})
+	}
+}
+
+type benchEvent struct{}
+type benchAck struct{}
+
+type benchEcho struct {
+	pt   *kompics.PortType
+	port *kompics.Port
+}
+
+func (e *benchEcho) Init(ctx *kompics.Context) {
+	e.port = ctx.Provides(e.pt)
+	ctx.Subscribe(e.port, benchEvent{}, func(kompics.Event) {
+		ctx.Trigger(benchAck{}, e.port)
+	})
+}
+
+type benchSink struct {
+	pt   *kompics.PortType
+	wg   *sync.WaitGroup
+	port *kompics.Port
+	comp *kompics.Component
+	ctx  *kompics.Context
+}
+
+type benchInject struct{ e kompics.Event }
+
+func (s *benchSink) Init(ctx *kompics.Context) {
+	s.ctx = ctx
+	s.comp = ctx.Component()
+	s.port = ctx.Requires(s.pt)
+	ctx.Subscribe(s.port, benchAck{}, func(kompics.Event) { s.wg.Done() })
+	ctx.SubscribeSelf(benchInject{}, func(e kompics.Event) {
+		ctx.Trigger(e.(benchInject).e, s.port)
+	})
+}
+
+func (s *benchSink) inject(e kompics.Event) { s.comp.SelfTrigger(benchInject{e: e}) }
+
+// BenchmarkUDTLoopback measures the real userspace UDT implementation's
+// stream throughput over the OS loopback.
+func BenchmarkUDTLoopback(b *testing.B) {
+	l, err := udt.Listen("127.0.0.1:0", udt.Config{MaxRate: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := udt.Dial(l.Addr().String(), udt.Config{MaxRate: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	chunk := make([]byte, 64<<10)
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	<-timeAfterClose(client, done)
+}
+
+func timeAfterClose(c interface{ Close() error }, done chan struct{}) chan struct{} {
+	c.Close()
+	return done
+}
+
+// BenchmarkLearnerBackends measures learning-step cost for the three
+// value backends (the matrix backend pays for its 55-cell table scans).
+func BenchmarkLearnerBackends(b *testing.B) {
+	model := func(s rl.State, a rl.Action) rl.State {
+		sp := int(s) + int(a) - 2
+		if sp < 0 {
+			sp = 0
+		}
+		if sp > 10 {
+			sp = 10
+		}
+		return rl.State(sp)
+	}
+	backends := []struct {
+		name string
+		mk   func() rl.Estimator
+	}{
+		{"matrix", func() rl.Estimator { return rl.NewMatrix(11, 5) }},
+		{"model", func() rl.Estimator { return rl.NewModelBased(11, model) }},
+		{"approx", func() rl.Estimator { return rl.NewApprox(11, model) }},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			l, err := rl.NewSarsa(rl.Config{
+				States: 11, Actions: 5,
+				Alpha: 0.5, Gamma: 0.5, Lambda: 0.85,
+				EpsMax: 0.3, EpsMin: 0.1, EpsDecay: 0.01,
+				Estimator: be.mk(),
+				Rand:      rand.New(rand.NewSource(1)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := rl.State(5)
+			a := l.Start(s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s = model(s, a)
+				a = l.Step(float64(10-int(s)), s)
+			}
+		})
+	}
+}
+
+// BenchmarkSimTransfer measures simulator event throughput: one 395 MB
+// TCP transfer on the EU2US path per iteration (~6080 message events).
+func BenchmarkSimTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTransfer(netsim.SetupEU2US, core.TCP, 395<<20, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Throughput <= 0 {
+			b.Fatal("no throughput")
+		}
+	}
+}
+
+// BenchmarkDatasetReadAt measures the synthetic dataset generator (it must
+// outpace every simulated link to never be the bottleneck in examples).
+func BenchmarkDatasetReadAt(b *testing.B) {
+	d, err := filetransfer.NewDataset(1, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadAt(buf, int64(i)*int64(len(buf))%(1<<29)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterceptorEnqueueRelease measures the DATA interceptor's
+// per-message overhead on the hot path.
+func BenchmarkInterceptorEnqueueRelease(b *testing.B) {
+	clk := newFakeClock()
+	ic, err := data.NewInterceptor(data.InterceptorConfig{
+		PSP:            data.NewPatternSelection(data.Even),
+		PRP:            data.StaticRatio{R: data.Even},
+		Clock:          clk,
+		MaxOutstanding: 1,
+		Send:           func(core.Transport, *data.Item) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic.Start()
+	item := &data.Item{Size: 65 << 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ic.Enqueue(item)
+		ic.OnSent(core.TCP)
+		ic.OnSent(core.UDT)
+	}
+}
+
+// fakeClock is a minimal clock for hot-path benchmarks (timers never
+// fire).
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (f *fakeClock) Now() time.Time { return f.t }
+func (f *fakeClock) AfterFunc(time.Duration, func()) clock.Timer {
+	return noopTimer{}
+}
+
+type noopTimer struct{}
+
+func (noopTimer) Stop() bool { return true }

@@ -1,0 +1,224 @@
+// Command kmbench regenerates the paper's evaluation figures on the
+// simulated testbed and prints the series/rows each figure plots.
+//
+// Usage:
+//
+//	kmbench -fig 9            # one figure (1, 2, 4, 5, 6, 8 or 9)
+//	kmbench -fig all          # everything
+//	kmbench -fig 9 -quick     # reduced dataset/repetitions for a fast look
+//	kmbench -fig 2 -seed 7    # change the reproducibility seed
+//
+// Absolute numbers come from the netsim substrate calibrated to the
+// paper's operating points; the shapes (who wins, by what factor, where
+// the crossover falls) are the reproduction targets. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kmbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 1, 2, 4, 5, 6, 8, 9 or all")
+	seed := fs.Int64("seed", 1, "reproducibility seed")
+	quick := fs.Bool("quick", false, "reduced sizes/repetitions for a fast pass")
+	size := fs.Int64("size", 0, "figure 9 transfer size in MB (default 395, paper)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	figures := map[string]func(int64, bool, int64) error{
+		"1":     runFigure1,
+		"2":     runFigure2,
+		"4":     runFigure4,
+		"5":     runFigure5,
+		"6":     runFigure6,
+		"8":     runFigure8,
+		"9":     runFigure9,
+		"sweep": runSweep,
+	}
+	order := []string{"1", "2", "4", "5", "6", "8", "9", "sweep"}
+
+	want := strings.Split(*fig, ",")
+	if *fig == "all" {
+		want = order
+	}
+	for _, f := range want {
+		fn, ok := figures[f]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (have 1, 2, 4, 5, 6, 8, 9, sweep)", f)
+		}
+		if err := fn(*seed, *quick, *size); err != nil {
+			return fmt.Errorf("figure %s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func tab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func mb(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f", bytesPerSec/(1<<20))
+}
+
+func runFigure1(seed int64, _ bool, _ int64) error {
+	header("Figure 1 — observed selection-ratio distributions (balance: -1 = all TCP, +1 = all UDT)")
+	rows := bench.Figure1(seed)
+	w := tab()
+	fmt.Fprintln(w, "target\tpolicy\twindow\tmin\tp25\tmedian\tp75\tmax\tmean")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%+.2f\t%s\t%s\t%+.3f\t%+.3f\t%+.3f\t%+.3f\t%+.3f\t%+.3f\n",
+			r.Target.Balance(), r.Policy, r.Window,
+			r.Box.Min, r.Box.P25, r.Box.Median, r.Box.P75, r.Box.Max, r.Box.Mean)
+	}
+	return w.Flush()
+}
+
+func printLearnerSeries(series []bench.LearnerSeries, every int) error {
+	w := tab()
+	fmt.Fprintln(w, "t(s)\tseries\tthroughput(MB/s)\ttrue-ratio\ttarget\tε")
+	for _, s := range series {
+		for i, p := range s.Points {
+			if (i+1)%every != 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\t%+.2f\t%+.2f\t%.2f\n",
+				int(p.T.Seconds()), s.Label, mb(p.Throughput), p.TrueRatio, p.Target, p.Epsilon)
+		}
+	}
+	return w.Flush()
+}
+
+func runFigure2(seed int64, quick bool, _ int64) error {
+	header("Figure 2 — learner with pattern vs probabilistic selection (60 s)")
+	series, err := bench.Figure2(seed)
+	if err != nil {
+		return err
+	}
+	every := 5
+	if quick {
+		every = 10
+	}
+	return printLearnerSeries(series, every)
+}
+
+func runLearnerFigure(title string, seed int64, quick bool,
+	gen func(int64) ([]bench.LearnerSeries, error)) error {
+	header(title)
+	series, err := gen(seed)
+	if err != nil {
+		return err
+	}
+	every := 10
+	if quick {
+		every = 20
+	}
+	return printLearnerSeries(series, every)
+}
+
+func runFigure4(seed int64, quick bool, _ int64) error {
+	return runLearnerFigure(
+		"Figure 4 — TD learner, matrix Q(s,a) backend (120 s; does not converge)",
+		seed, quick, bench.Figure4)
+}
+
+func runFigure5(seed int64, quick bool, _ int64) error {
+	return runLearnerFigure(
+		"Figure 5 — TD learner, model-based V(s) backend (120 s; converges ≈20 s)",
+		seed, quick, bench.Figure5)
+}
+
+func runFigure6(seed int64, quick bool, _ int64) error {
+	return runLearnerFigure(
+		"Figure 6 — TD learner, quadratic value approximation (120 s; converges in seconds)",
+		seed, quick, bench.Figure6)
+}
+
+func runFigure8(seed int64, quick bool, _ int64) error {
+	header("Figure 8 — control-message RTT with and without parallel data (log-scale in the paper)")
+	opts := bench.Fig8Options{Seed: seed}
+	if quick {
+		opts.Pings = 10
+		opts.Warmup = 15 * time.Second
+	}
+	rows, err := bench.Figure8(opts)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "setup\tscenario\tmean RTT\t±95% CI\tpings")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%d\n",
+			r.Setup, r.Scenario, r.MeanRTT.Round(time.Microsecond),
+			r.CI95.Round(time.Microsecond), r.Pings)
+	}
+	return w.Flush()
+}
+
+func runFigure9(seed int64, quick bool, sizeMB int64) error {
+	header("Figure 9 — disk-to-disk throughput vs RTT (mean ± 95% CI)")
+	opts := bench.Fig9Options{Seed: seed}
+	if sizeMB > 0 {
+		opts.Size = sizeMB << 20
+	}
+	if quick {
+		opts.MinRuns = 5
+		opts.MaxRuns = 10
+		opts.RSETarget = 0.2
+	}
+	rows, err := bench.Figure9(opts)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "setup\tRTT\tprotocol\tthroughput(MB/s)\t±95% CI\truns")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%s\t%s\t%d\n",
+			r.Setup, r.RTT, r.Proto, mb(r.MeanThroughput), mb(r.CI95), r.Runs)
+	}
+	return w.Flush()
+}
+
+func runSweep(seed int64, quick bool, sizeMB int64) error {
+	header("RTT sweep — figure 9's x-axis at a finer resolution (extension)")
+	opts := bench.Fig9Options{Seed: seed}
+	if sizeMB > 0 {
+		opts.Size = sizeMB << 20
+	}
+	if quick {
+		opts.MinRuns = 3
+		opts.MaxRuns = 5
+		opts.RSETarget = 0.25
+	}
+	rows, err := bench.ThroughputSweep(bench.DefaultSweepRTTs(), opts)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "RTT\tprotocol\tthroughput(MB/s)\t±95% CI\truns")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%v\t%s\t%s\t%d\n",
+			r.RTT, r.Proto, mb(r.MeanThroughput), mb(r.CI95), r.Runs)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// quiet redirects stdout to /dev/null for the duration of a test so the
+// figure tables do not pollute test output.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunSingleFigures(t *testing.T) {
+	quiet(t)
+	for _, fig := range []string{"1", "2"} {
+		if err := run([]string{"-fig", fig, "-quick"}); err != nil {
+			t.Fatalf("run -fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunFigure9QuickSmallSize(t *testing.T) {
+	quiet(t)
+	if err := run([]string{"-fig", "9", "-quick", "-size", "32"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	quiet(t)
+	if err := run([]string{"-fig", "42"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	quiet(t)
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

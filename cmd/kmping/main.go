@@ -1,0 +1,149 @@
+// Command kmping measures control-message round-trip times between two
+// KompicsMessaging nodes over a chosen transport — the real-network
+// counterpart of the paper's "ping" components (§V-A).
+//
+// Run a responder on one host and a prober on another:
+//
+//	kmping -listen 0.0.0.0:9000
+//	kmping -listen 0.0.0.0:9001 -dest 10.0.0.2:9000 -proto udt -count 20
+//
+// Note: each node binds its TCP and UDP port, plus UDP port+1 for UDT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/pingpong"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kmping:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProto(s string) (core.Transport, error) {
+	switch strings.ToLower(s) {
+	case "tcp":
+		return core.TCP, nil
+	case "udp":
+		return core.UDP, nil
+	case "udt":
+		return core.UDT, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (tcp, udp or udt)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kmping", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9000", "this node's address (ip:port)")
+	dest := fs.String("dest", "", "peer address to probe; empty = respond only")
+	protoName := fs.String("proto", "tcp", "transport for probes: tcp, udp or udt")
+	count := fs.Int("count", 10, "number of probes")
+	interval := fs.Duration("interval", 100*time.Millisecond, "probe interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	self, err := core.ParseAddress(*listen)
+	if err != nil {
+		return err
+	}
+	proto, err := parseProto(*protoName)
+	if err != nil {
+		return err
+	}
+
+	reg := core.NewRegistry()
+	if err := pingpong.Register(reg); err != nil {
+		return err
+	}
+	netDef, err := core.NewNetwork(core.NetworkConfig{Self: self, Registry: reg})
+	if err != nil {
+		return err
+	}
+	sys := kompics.NewSystem()
+	defer sys.Shutdown()
+	netComp := sys.Create(netDef)
+
+	ponger := pingpong.NewPonger(self)
+	pongerComp := sys.Create(ponger)
+	kompics.MustConnect(netDef.Port(), ponger.NetPort())
+	sys.Start(netComp)
+	sys.Start(pongerComp)
+
+	if *dest == "" {
+		fmt.Printf("responding on %s (TCP/UDP %d, UDT %d); ctrl-c to stop\n",
+			self, self.Port(), self.Port()+1)
+		select {} // respond until interrupted
+	}
+
+	destAddr, err := core.ParseAddress(*dest)
+	if err != nil {
+		return err
+	}
+	pinger := pingpong.NewPinger(pingpong.PingerConfig{
+		Self: self, Dest: destAddr, Proto: proto,
+		Interval: *interval, Count: *count,
+	})
+	pingerComp := sys.Create(pinger)
+	kompics.MustConnect(netDef.Port(), pinger.NetPort())
+
+	printer := &rttPrinter{done: make(chan struct{}), want: *count}
+	printerComp := sys.Create(printer)
+	kompics.MustConnect(pinger.Port(), printer.port)
+	sys.Start(pingerComp)
+	sys.Start(printerComp)
+	printer.comp.SelfTrigger(startProbing{})
+
+	timeout := time.Duration(*count)*(*interval) + 30*time.Second
+	select {
+	case <-printer.done:
+	case <-time.After(timeout):
+		fmt.Printf("timed out: %d of %d pongs received\n", printer.got, *count)
+	}
+	sys.AwaitQuiescence()
+	s := pinger.RTTs()
+	if s.N() > 0 {
+		fmt.Printf("--- %s over %v: %d probes, mean %v ± %v (95%% CI) ---\n",
+			destAddr, proto, s.N(),
+			time.Duration(s.Mean()*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(s.CI95()*float64(time.Second)).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// rttPrinter prints each sample as it arrives and signals completion.
+type rttPrinter struct {
+	port *kompics.Port
+	comp *kompics.Component
+	want int
+	got  int
+	done chan struct{}
+}
+
+type startProbing struct{}
+
+func (p *rttPrinter) Init(ctx *kompics.Context) {
+	p.comp = ctx.Component()
+	p.port = ctx.Requires(pingpong.PingPort)
+	ctx.Subscribe(p.port, pingpong.RTTSample{}, func(e kompics.Event) {
+		s := e.(pingpong.RTTSample)
+		fmt.Printf("seq=%d rtt=%v\n", s.Seq, s.RTT.Round(time.Microsecond))
+		p.got++
+		if p.got == p.want {
+			close(p.done)
+		}
+	})
+	ctx.SubscribeSelf(startProbing{}, func(kompics.Event) {
+		ctx.Trigger(pingpong.StartPinging{}, p.port)
+	})
+}

@@ -1,0 +1,96 @@
+// Quickstart: two KompicsMessaging nodes on loopback exchange greetings,
+// each message choosing its transport — the middleware's core idea of
+// per-message protocol selection.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+// greeter sends one greeting over each wire protocol and prints whatever
+// it receives.
+type greeter struct {
+	name string
+	self core.BasicAddress
+	peer core.BasicAddress
+
+	net  *kompics.Port
+	comp *kompics.Component
+	got  chan string
+}
+
+// sayHello asks the greeter (in component context) to send its greetings.
+type sayHello struct{}
+
+func (g *greeter) Init(ctx *kompics.Context) {
+	g.comp = ctx.Component()
+	g.net = ctx.Requires(core.NetworkPort)
+
+	ctx.Subscribe(g.net, (*core.Msg)(nil), func(e kompics.Event) {
+		if m, ok := e.(*core.DataMsg); ok {
+			g.got <- fmt.Sprintf("%s received %q via %v",
+				g.name, m.Payload, m.Header().Protocol())
+		}
+	})
+	ctx.SubscribeSelf(sayHello{}, func(kompics.Event) {
+		// The header's Transport field selects the protocol per message.
+		for _, proto := range []core.Transport{core.TCP, core.UDP, core.UDT} {
+			msg := &core.DataMsg{
+				Hdr:     core.NewHeader(g.self, g.peer, proto),
+				Payload: []byte(fmt.Sprintf("hello from %s over %v", g.name, proto)),
+			}
+			ctx.Trigger(msg, g.net)
+		}
+	})
+}
+
+func startNode(name string, self, peer core.BasicAddress) (*greeter, *kompics.System) {
+	netDef, err := core.NewNetwork(core.NetworkConfig{Self: self})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := kompics.NewSystem()
+	netComp := sys.Create(netDef)
+
+	g := &greeter{name: name, self: self, peer: peer, got: make(chan string, 8)}
+	gComp := sys.Create(g)
+	kompics.MustConnect(netDef.Port(), g.net)
+
+	sys.Start(netComp)
+	sys.Start(gComp)
+	return g, sys
+}
+
+func main() {
+	selfA := core.MustParseAddress("127.0.0.1:9100")
+	selfB := core.MustParseAddress("127.0.0.1:9102")
+
+	alice, sysA := startNode("alice", selfA, selfB)
+	defer sysA.Shutdown()
+	bob, sysB := startNode("bob", selfB, selfA)
+	defer sysB.Shutdown()
+
+	alice.comp.SelfTrigger(sayHello{})
+	bob.comp.SelfTrigger(sayHello{})
+
+	// Expect three greetings on each side (one per protocol).
+	for i := 0; i < 6; i++ {
+		select {
+		case line := <-alice.got:
+			fmt.Println(line)
+		case line := <-bob.got:
+			fmt.Println(line)
+		case <-time.After(10 * time.Second):
+			fmt.Println("timed out waiting for greetings")
+			os.Exit(1)
+		}
+	}
+}

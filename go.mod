@@ -1,0 +1,3 @@
+module github.com/kompics/kompicsmessaging-go
+
+go 1.22

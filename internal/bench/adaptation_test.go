@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+)
+
+// TestLearnerReAdaptsToChangingConditions is the scenario the paper's
+// introduction motivates but never measures: network conditions change
+// mid-stream and the online learner must shift traffic to the newly
+// better protocol. The path starts TCP-friendly (low loss: TCP ≈
+// 100 MB/s ≫ UDT ≈ 10), then degrades to WAN-grade loss at a long RTT
+// (TCP collapses below UDT); the learner has to migrate from balance ≈ −1
+// towards UDT.
+func TestLearnerReAdaptsToChangingConditions(t *testing.T) {
+	sim := netsim.NewSim(9)
+	good := netsim.SetupLearner // TCP-strong
+	path := sim.NewPath(good)
+
+	prp, err := defaultLearnerPRP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	ds, err := newDataStream(sim, dataStreamConfig{
+		path:    path,
+		psp:     data.NewPatternSelection(data.Even),
+		prp:     prp,
+		episode: time.Second,
+		onEpisode: func(_ data.EpisodeStats, next data.Ratio) {
+			ratios = append(ratios, next.Balance())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continuous stream.
+	next := uint64(0)
+	for ; next < 2048; next++ {
+		ds.enqueue(&netsim.Message{ID: next, Size: ChunkSize, Kind: netsim.DataKind})
+	}
+	ds.onDeliver = func(*netsim.Message) {
+		ds.enqueue(&netsim.Message{ID: next, Size: ChunkSize, Kind: netsim.DataKind})
+		next++
+	}
+
+	// Phase 1: 60 s on the good link — learner should sit near pure TCP.
+	sim.RunFor(60 * time.Second)
+	phase1 := mean(ratios[40:])
+	if phase1 > -0.6 {
+		t.Fatalf("phase 1: learner at balance %.2f, want ≤ -0.6 (TCP-strong link)", phase1)
+	}
+
+	// Conditions degrade: long RTT with WAN loss; TCP collapses to
+	// ~1 MB/s while UDT stays at the 10 MB/s policer.
+	bad := good
+	bad.RTT = 200 * time.Millisecond
+	bad.LossRate = 3e-4
+	path.SetConfig(bad)
+
+	// Phase 2: give the learner time to notice and migrate. Exploration
+	// is already at its floor (ε = 0.1), so this measures genuine
+	// re-adaptation, not initial exploration.
+	sim.RunFor(240 * time.Second)
+	tail := ratios[len(ratios)-30:]
+	phase2 := mean(tail)
+	if phase2 < 0.2 {
+		t.Fatalf("phase 2: learner stuck at balance %.2f after conditions flipped, want ≥ 0.2 (tail %v)",
+			phase2, tail)
+	}
+	t.Logf("adaptation: phase1 mean balance %.2f → phase2 mean balance %.2f", phase1, phase2)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

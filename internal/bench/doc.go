@@ -1,0 +1,22 @@
+// Package bench regenerates every figure of the paper's evaluation (§IV
+// and §V) on the netsim substrate, which stands in for the Amazon EC2
+// testbed (see DESIGN.md §4 for the substitution argument):
+//
+//	Figure 1 — distribution of observed selection ratios for the
+//	           probabilistic and pattern selectors, over full episodes
+//	           (~1600 messages) and on-the-wire windows (16 messages).
+//	Figure 2 — learner convergence with pattern vs probabilistic
+//	           selection (throughput and true protocol ratio over time).
+//	Figure 4 — TD learner with the matrix Q(s,a) backend (no convergence
+//	           within 120 s).
+//	Figure 5 — model-based V(s) backend (convergence ≈ 20 s).
+//	Figure 6 — quadratic value approximation (convergence in seconds).
+//	Figure 8 — control-message RTTs with and without concurrent bulk
+//	           data over TCP, UDT and DATA, across the four setups.
+//	Figure 9 — disk-to-disk throughput for TCP, UDT and DATA across the
+//	           four setups (±95% CI, runs repeated until RSE < 10%).
+//
+// All experiments run the *production* policy/interceptor code over
+// simulated connections with virtual time, so a 120-second learner run
+// executes in milliseconds and every result is reproducible per seed.
+package bench

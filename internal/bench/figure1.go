@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
+)
+
+// Figure 1 parameters from §IV-B2: on a 100 MB/s link with 10 ms delay and
+// 65 kB messages, one 1-second episode holds ~1600 messages and ~16
+// messages are on the wire concurrently; each dataset has ~160,000
+// entries.
+const (
+	Fig1EpisodeWindow = 1600
+	Fig1WireWindow    = 16
+	Fig1Selections    = 160000
+)
+
+// Fig1Row is one box of figure 1: the distribution of observed selection
+// balances for one (target, policy, window) combination.
+type Fig1Row struct {
+	// Target is the prescribed ratio.
+	Target data.Ratio
+	// Policy is "Random" or "Pattern".
+	Policy string
+	// Window is "Episode" (~1600 msgs) or "Wire" (16 msgs).
+	Window string
+	// Box summarises the sliding-window balance observations in the
+	// figures' [−1, 1] form.
+	Box stats.Box
+}
+
+// Figure1Targets returns the target ratios on the paper's x-axis
+// (expressed as UDT fractions 0, 3/100, 1/3, 4/5).
+func Figure1Targets() []data.Ratio {
+	return []data.Ratio{
+		data.PureTCP,
+		data.MustRatio(3, 100),
+		data.MustRatio(1, 3),
+		data.MustRatio(4, 5),
+	}
+}
+
+// Figure1 reproduces figure 1: for every target ratio it drives both
+// selection policies for Fig1Selections messages and summarises the
+// sliding-window observed balance over episode-sized and wire-sized
+// windows.
+func Figure1(seed int64) []Fig1Row {
+	var rows []Fig1Row
+	for _, target := range Figure1Targets() {
+		policies := []struct {
+			name string
+			sel  data.ProtocolSelectionPolicy
+		}{
+			{"Random", data.NewRandomSelection(target, rand.New(rand.NewSource(seed)))},
+			{"Pattern", data.NewPatternSelection(target)},
+		}
+		for _, p := range policies {
+			selections := make([]bool, Fig1Selections) // true = UDT
+			for i := range selections {
+				selections[i] = p.sel.Select() == core.UDT
+			}
+			for _, w := range []struct {
+				name string
+				size int
+			}{
+				{"Episode", Fig1EpisodeWindow},
+				{"Wire", Fig1WireWindow},
+			} {
+				rows = append(rows, Fig1Row{
+					Target: target,
+					Policy: p.name,
+					Window: w.name,
+					Box:    stats.NewBox(slidingBalances(selections, w.size)),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// slidingBalances computes the observed balance (−1 = all TCP, +1 = all
+// UDT) over every sliding window of the given size.
+func slidingBalances(selections []bool, window int) []float64 {
+	if window <= 0 || window > len(selections) {
+		return nil
+	}
+	out := make([]float64, 0, len(selections)-window+1)
+	udt := 0
+	for i, s := range selections {
+		if s {
+			udt++
+		}
+		if i >= window {
+			if selections[i-window] {
+				udt--
+			}
+		}
+		if i >= window-1 {
+			out = append(out, 2*float64(udt)/float64(window)-1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
+)
+
+// pingSize is the control-message payload.
+const pingSize = 100
+
+// Fig8Scenario is one bar group of figure 8: which protocol carries the
+// pings and (optionally) which carries concurrent bulk data.
+type Fig8Scenario struct {
+	// Name labels the scenario as in the figure legend.
+	Name string
+	// PingProto carries the control messages.
+	PingProto core.Transport
+	// DataProto carries concurrent bulk data; zero means pings only.
+	DataProto core.Transport
+}
+
+// Figure8Scenarios returns the five scenarios of figure 8.
+func Figure8Scenarios() []Fig8Scenario {
+	return []Fig8Scenario{
+		{Name: "TCP pings only", PingProto: core.TCP},
+		{Name: "UDT pings only", PingProto: core.UDT},
+		{Name: "TCP ping + TCP data", PingProto: core.TCP, DataProto: core.TCP},
+		{Name: "TCP ping + UDT data", PingProto: core.TCP, DataProto: core.UDT},
+		{Name: "TCP ping + DATA data", PingProto: core.TCP, DataProto: core.DATA},
+	}
+}
+
+// Fig8Row is one bar of figure 8.
+type Fig8Row struct {
+	Setup    string
+	Scenario string
+	// MeanRTT and CI95 summarise the ping round trips.
+	MeanRTT time.Duration
+	CI95    time.Duration
+	Pings   int
+}
+
+// Fig8Options tunes the figure-8 reproduction.
+type Fig8Options struct {
+	// Pings per cell (default 30) at Interval (default 100 ms).
+	Pings    int
+	Interval time.Duration
+	// Warmup lets the data stream reach steady state before probing
+	// (default 30 s).
+	Warmup time.Duration
+	// Setups lists the paths (default netsim.Setups()).
+	Setups []netsim.PathConfig
+	// Seed bases the per-cell seeds.
+	Seed int64
+}
+
+func (o *Fig8Options) applyDefaults() {
+	if o.Pings <= 0 {
+		o.Pings = 30
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 30 * time.Second
+	}
+	if len(o.Setups) == 0 {
+		o.Setups = netsim.Setups()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Figure8 reproduces figure 8: mean control-message RTT per setup and
+// scenario, with bulk data (where configured) running concurrently.
+func Figure8(opts Fig8Options) ([]Fig8Row, error) {
+	opts.applyDefaults()
+	var rows []Fig8Row
+	for _, setup := range opts.Setups {
+		for i, sc := range Figure8Scenarios() {
+			sample, err := runPingScenario(setup, sc, opts, opts.Seed+int64(i)*7919)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", setup.Name, sc.Name, err)
+			}
+			rows = append(rows, Fig8Row{
+				Setup:    setup.Name,
+				Scenario: sc.Name,
+				MeanRTT:  time.Duration(sample.Mean() * float64(time.Second)),
+				CI95:     time.Duration(sample.CI95() * float64(time.Second)),
+				Pings:    sample.N(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// runPingScenario measures ping RTTs for one cell.
+func runPingScenario(cfg netsim.PathConfig, sc Fig8Scenario, opts Fig8Options, seed int64) (*stats.Sample, error) {
+	sim := netsim.NewSim(seed)
+	path := sim.NewPath(cfg)
+
+	// Control-plane state.
+	var sample stats.Sample
+	sentAt := make(map[uint64]time.Time)
+	var pingConn *netsim.Conn // the conn carrying pings A→B and pongs B→A
+
+	// onControlDelivered handles control messages at both ends.
+	onControl := func(m *netsim.Message) {
+		if m.Meta == "ping" {
+			pingConn.Send(netsim.BtoA, &netsim.Message{
+				ID: m.ID, Size: pingSize, Kind: netsim.ControlKind, Meta: "pong",
+			})
+			return
+		}
+		if at, ok := sentAt[m.ID]; ok {
+			delete(sentAt, m.ID)
+			sample.Add(sim.Now().Sub(at).Seconds())
+		}
+	}
+
+	// Data plane.
+	switch sc.DataProto {
+	case 0:
+		// Pings only: a dedicated connection.
+		pingConn = path.NewConn(sc.PingProto)
+
+	case core.TCP, core.UDT:
+		dataConn := path.NewConn(sc.DataProto, netsim.WithDiskBound())
+		keepFed(dataConn)
+		if sc.DataProto == sc.PingProto {
+			// The middleware multiplexes one channel per (peer,
+			// protocol): pings queue behind the data backlog.
+			pingConn = dataConn
+		} else {
+			pingConn = path.NewConn(sc.PingProto)
+		}
+
+	case core.DATA:
+		prp, err := defaultLearnerPRP(seed)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := newDataStream(sim, dataStreamConfig{
+			path:      path,
+			psp:       data.NewPatternSelection(data.Even),
+			prp:       prp,
+			episode:   time.Second,
+			diskBound: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Keep the interceptor's queue topped up: one fresh chunk per
+		// released chunk, plus an initial backlog.
+		backlog := 1024
+		for i := 0; i < backlog; i++ {
+			ds.enqueue(&netsim.Message{ID: uint64(i), Size: ChunkSize, Kind: netsim.DataKind})
+		}
+		next := uint64(backlog)
+		ds.onDeliver = func(m *netsim.Message) {
+			if m.Kind != netsim.DataKind {
+				return // control probes share the lane but are not chunks
+			}
+			ds.enqueue(&netsim.Message{ID: next, Size: ChunkSize, Kind: netsim.DataKind})
+			next++
+		}
+		// Control messages share the interceptor's TCP channel, exactly
+		// as in the middleware (one channel per peer and protocol); the
+		// interceptor's short socket queues are what protect them.
+		if sc.PingProto == core.UDT {
+			pingConn = ds.udt
+		} else {
+			pingConn = ds.tcp
+		}
+
+	default:
+		return nil, fmt.Errorf("unsupported data protocol %v", sc.DataProto)
+	}
+
+	// Deliver control traffic at both ends of the ping connection.
+	chainDeliver(pingConn, netsim.AtoB, func(m *netsim.Message) {
+		if m.Kind == netsim.ControlKind {
+			onControl(m)
+		}
+	})
+	chainDeliver(pingConn, netsim.BtoA, func(m *netsim.Message) {
+		if m.Kind == netsim.ControlKind {
+			onControl(m)
+		}
+	})
+
+	sim.RunFor(opts.Warmup)
+
+	// Schedule the probes.
+	for i := 0; i < opts.Pings; i++ {
+		id := uint64(1 << 32) // control ID space, disjoint from chunks
+		id += uint64(i)
+		delay := time.Duration(i) * opts.Interval
+		sim.Schedule(delay, func() {
+			sentAt[id] = sim.Now()
+			pingConn.Send(netsim.AtoB, &netsim.Message{
+				ID: id, Size: pingSize, Kind: netsim.ControlKind, Meta: "ping",
+			})
+		})
+	}
+
+	want := opts.Pings
+	if !sim.RunUntil(func() bool { return sample.N() >= want }, 24*time.Hour) {
+		return nil, fmt.Errorf("only %d of %d pings completed", sample.N(), want)
+	}
+	return &sample, nil
+}
+
+// keepFed emulates the asynchronous file sender on a direct connection
+// indefinitely: it keeps directWindow chunks queued at the socket, topping
+// the backlog up whenever a chunk finishes transmitting.
+func keepFed(conn *netsim.Conn) {
+	next := uint64(0)
+	var top func()
+	top = func() {
+		for conn.QueuedMessages(netsim.AtoB) < directWindow {
+			conn.Send(netsim.AtoB, &netsim.Message{
+				ID: next, Size: ChunkSize, Kind: netsim.DataKind,
+			})
+			next++
+		}
+	}
+	conn.OnSent(netsim.AtoB, func(*netsim.Message) { top() })
+	top()
+}
+
+// chainDeliver appends a delivery callback to a lane, preserving any
+// callback already installed (e.g. the data stream's accounting).
+func chainDeliver(conn *netsim.Conn, dir netsim.Dir, fn func(*netsim.Message)) {
+	prev := conn.DeliverCallback(dir)
+	conn.OnDeliver(dir, func(m *netsim.Message) {
+		if prev != nil {
+			prev(m)
+		}
+		fn(m)
+	})
+}

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+)
+
+// LearnerPoint is one per-second sample of a learner run: throughput and
+// the true (receiver-measured) protocol ratio, both as plotted in figures
+// 2 and 4–6.
+type LearnerPoint struct {
+	// T is time since the run began.
+	T time.Duration
+	// Throughput is bytes/second over the last second.
+	Throughput float64
+	// TrueRatio is the receiver-side balance in [−1, 1]; NaN-free: when
+	// no message arrived in the window the previous value is carried.
+	TrueRatio float64
+	// Target is the ratio currently prescribed by the PRP.
+	Target float64
+	// Epsilon is the learner's exploration rate (0 for static policies).
+	Epsilon float64
+}
+
+// LearnerSeries is one curve of a learner figure.
+type LearnerSeries struct {
+	// Label names the curve (e.g. "approx", "TCP", "Pattern/Learner").
+	Label  string
+	Points []LearnerPoint
+}
+
+// RatioPolicyKind selects the PRP of a learner run.
+type RatioPolicyKind int
+
+// Ratio policies available to LearnerRun.
+const (
+	// StaticTCP and StaticUDT are the reference curves.
+	StaticTCP RatioPolicyKind = iota + 1
+	StaticUDT
+	// LearnerMatrix, LearnerModel and LearnerApprox are the TD learner
+	// with the three value backends (figures 4, 5, 6).
+	LearnerMatrix
+	LearnerModel
+	LearnerApprox
+)
+
+// String implements fmt.Stringer.
+func (k RatioPolicyKind) String() string {
+	switch k {
+	case StaticTCP:
+		return "TCP"
+	case StaticUDT:
+		return "UDT"
+	case LearnerMatrix:
+		return "matrix"
+	case LearnerModel:
+		return "model"
+	case LearnerApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("RatioPolicyKind(%d)", int(k))
+	}
+}
+
+// SelectionPolicyKind selects the PSP of a learner run.
+type SelectionPolicyKind int
+
+// Selection policies available to LearnerRun (figure 2 compares them).
+const (
+	PatternPolicy SelectionPolicyKind = iota + 1
+	RandomPolicy
+)
+
+// String implements fmt.Stringer.
+func (k SelectionPolicyKind) String() string {
+	if k == RandomPolicy {
+		return "Random"
+	}
+	return "Pattern"
+}
+
+// LearnerRunConfig parameterises LearnerRun.
+type LearnerRunConfig struct {
+	// Path is the simulated environment (default netsim.SetupLearner —
+	// the TCP-strong link of the learner figures).
+	Path netsim.PathConfig
+	// Ratio picks the PRP; Selection the PSP (default PatternPolicy).
+	Ratio     RatioPolicyKind
+	Selection SelectionPolicyKind
+	// Duration of the run (default 120 s, as in figures 4–6).
+	Duration time.Duration
+	// EpsMax/EpsMin/EpsDecay override the learner's exploration schedule
+	// when non-zero. Figure 4 uses 0.8/0.1/0.01; figures 5–6 use
+	// εmax = 0.3.
+	EpsMax, EpsMin, EpsDecay float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *LearnerRunConfig) applyDefaults() {
+	if c.Path.Name == "" {
+		c.Path = netsim.SetupLearner
+	}
+	if c.Selection == 0 {
+		c.Selection = PatternPolicy
+	}
+	if c.Duration <= 0 {
+		c.Duration = 120 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// LearnerRun drives a continuous DATA stream over a simulated path for
+// the configured duration and samples throughput and true ratio once per
+// second — the raw series behind figures 2, 4, 5 and 6.
+func LearnerRun(cfg LearnerRunConfig) (LearnerSeries, error) {
+	cfg.applyDefaults()
+	sim := netsim.NewSim(cfg.Seed)
+	path := sim.NewPath(cfg.Path)
+
+	prp, learner, err := cfg.buildPRP()
+	if err != nil {
+		return LearnerSeries{}, err
+	}
+	psp, err := cfg.buildPSP()
+	if err != nil {
+		return LearnerSeries{}, err
+	}
+
+	ds, err := newDataStream(sim, dataStreamConfig{
+		path:    path,
+		psp:     psp,
+		prp:     prp,
+		episode: time.Second,
+	})
+	if err != nil {
+		return LearnerSeries{}, err
+	}
+
+	// Continuous stream: keep a deep backlog in the interceptor.
+	const backlog = 2048
+	next := uint64(0)
+	for ; next < backlog; next++ {
+		ds.enqueue(&netsim.Message{ID: next, Size: ChunkSize, Kind: netsim.DataKind})
+	}
+	ds.onDeliver = func(*netsim.Message) {
+		ds.enqueue(&netsim.Message{ID: next, Size: ChunkSize, Kind: netsim.DataKind})
+		next++
+	}
+
+	series := LearnerSeries{Label: cfg.label()}
+	var lastBytes int64
+	lastTCP, lastUDT := 0, 0
+	lastRatio := ds.ic.Ratio().Balance()
+	seconds := int(cfg.Duration / time.Second)
+	for s := 1; s <= seconds; s++ {
+		sim.RunFor(time.Second)
+		deltaBytes := ds.deliveredBytes - lastBytes
+		lastBytes = ds.deliveredBytes
+		ratio, ok := ds.trueRatioSince(lastTCP, lastUDT)
+		if !ok {
+			ratio = lastRatio
+		}
+		lastRatio = ratio
+		lastTCP, lastUDT = ds.deliveredTCP, ds.deliveredUDT
+
+		point := LearnerPoint{
+			T:          time.Duration(s) * time.Second,
+			Throughput: float64(deltaBytes),
+			TrueRatio:  ratio,
+			Target:     ds.ic.Ratio().Balance(),
+		}
+		if learner != nil {
+			point.Epsilon = learner.Epsilon()
+		}
+		series.Points = append(series.Points, point)
+	}
+	return series, nil
+}
+
+func (c *LearnerRunConfig) buildPRP() (data.ProtocolRatioPolicy, *data.TDRatioLearner, error) {
+	switch c.Ratio {
+	case StaticTCP:
+		return data.StaticRatio{R: data.PureTCP}, nil, nil
+	case StaticUDT:
+		return data.StaticRatio{R: data.PureUDT}, nil, nil
+	case LearnerMatrix, LearnerModel, LearnerApprox:
+		kind := map[RatioPolicyKind]data.EstimatorKind{
+			LearnerMatrix: data.MatrixEstimator,
+			LearnerModel:  data.ModelEstimator,
+			LearnerApprox: data.ApproxEstimator,
+		}[c.Ratio]
+		lcfg := data.LearnerConfig{
+			Estimator: kind,
+			Initial:   data.Even,
+			Rand:      rand.New(rand.NewSource(c.Seed)),
+		}
+		// Figure 4's schedule for the matrix backend; figures 5–6 use a
+		// lower εmax to avoid post-convergence exploration.
+		if kind == data.MatrixEstimator {
+			lcfg.EpsMax, lcfg.EpsMin, lcfg.EpsDecay = 0.8, 0.1, 0.01
+		} else {
+			lcfg.EpsMax, lcfg.EpsMin, lcfg.EpsDecay = 0.3, 0.1, 0.01
+		}
+		if c.EpsMax > 0 {
+			lcfg.EpsMax = c.EpsMax
+		}
+		if c.EpsMin > 0 {
+			lcfg.EpsMin = c.EpsMin
+		}
+		if c.EpsDecay > 0 {
+			lcfg.EpsDecay = c.EpsDecay
+		}
+		l, err := data.NewTDRatioLearner(lcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, l, nil
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown ratio policy %v", c.Ratio)
+	}
+}
+
+func (c *LearnerRunConfig) buildPSP() (data.ProtocolSelectionPolicy, error) {
+	switch c.Selection {
+	case PatternPolicy:
+		return data.NewPatternSelection(data.Even), nil
+	case RandomPolicy:
+		return data.NewRandomSelection(data.Even, rand.New(rand.NewSource(c.Seed+1))), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown selection policy %v", c.Selection)
+	}
+}
+
+func (c *LearnerRunConfig) label() string {
+	if c.Ratio == StaticTCP || c.Ratio == StaticUDT {
+		return c.Ratio.String()
+	}
+	return fmt.Sprintf("%v/%v", c.Ratio, c.Selection)
+}
+
+// Figure2 reproduces figure 2: the approx learner with pattern vs
+// probabilistic selection, plus the TCP and UDT references, over 60 s.
+func Figure2(seed int64) ([]LearnerSeries, error) {
+	return learnerFigure(seed, 60*time.Second, []LearnerRunConfig{
+		{Ratio: LearnerApprox, Selection: PatternPolicy},
+		{Ratio: LearnerApprox, Selection: RandomPolicy},
+		{Ratio: StaticTCP},
+		{Ratio: StaticUDT},
+	})
+}
+
+// Figure4 reproduces figure 4: the matrix-backend learner (which fails to
+// converge within 120 s) with TCP and UDT references.
+func Figure4(seed int64) ([]LearnerSeries, error) {
+	return learnerFigure(seed, 120*time.Second, []LearnerRunConfig{
+		{Ratio: LearnerMatrix},
+		{Ratio: StaticTCP},
+		{Ratio: StaticUDT},
+	})
+}
+
+// Figure5 reproduces figure 5: the model-based backend (convergence
+// ≈ 20 s).
+func Figure5(seed int64) ([]LearnerSeries, error) {
+	return learnerFigure(seed, 120*time.Second, []LearnerRunConfig{
+		{Ratio: LearnerModel},
+		{Ratio: StaticTCP},
+		{Ratio: StaticUDT},
+	})
+}
+
+// Figure6 reproduces figure 6: the quadratic-approximation backend
+// (convergence within seconds, no significant backtracking).
+func Figure6(seed int64) ([]LearnerSeries, error) {
+	return learnerFigure(seed, 120*time.Second, []LearnerRunConfig{
+		{Ratio: LearnerApprox},
+		{Ratio: StaticTCP},
+		{Ratio: StaticUDT},
+	})
+}
+
+func learnerFigure(seed int64, d time.Duration, cfgs []LearnerRunConfig) ([]LearnerSeries, error) {
+	out := make([]LearnerSeries, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		cfg.Seed = seed
+		cfg.Duration = d
+		s, err := LearnerRun(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/filetransfer"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+)
+
+// ChunkSize is the simulated message payload, matching the paper's 65 kB
+// serialisation buffers.
+const ChunkSize = 65 << 10
+
+// directWindow is the outstanding-chunk window of the asynchronous file
+// sender when writing straight to a transport (no interceptor). The large
+// backlog is what delays control messages in figure 8.
+const directWindow = 256
+
+// dataStream drives the DATA meta-protocol over a simulated path: the
+// production interceptor, selection and ratio policies feeding one TCP and
+// one UDT connection.
+type dataStream struct {
+	sim *netsim.Sim
+	tcp *netsim.Conn
+	udt *netsim.Conn
+	ic  *data.Interceptor
+
+	deliveredBytes int64
+	deliveredTCP   int
+	deliveredUDT   int
+	onDeliver      func(*netsim.Message)
+}
+
+// dataStreamConfig configures newDataStream.
+type dataStreamConfig struct {
+	path      *netsim.Path
+	psp       data.ProtocolSelectionPolicy
+	prp       data.ProtocolRatioPolicy
+	episode   time.Duration
+	onEpisode func(stats data.EpisodeStats, next data.Ratio)
+	diskBound bool
+}
+
+func newDataStream(sim *netsim.Sim, cfg dataStreamConfig) (*dataStream, error) {
+	var opts []netsim.ConnOption
+	if cfg.diskBound {
+		opts = append(opts, netsim.WithDiskBound())
+	}
+	ds := &dataStream{
+		sim: sim,
+		tcp: cfg.path.NewConn(core.TCP, opts...),
+		udt: cfg.path.NewConn(core.UDT, opts...),
+	}
+	ic, err := data.NewInterceptor(data.InterceptorConfig{
+		PSP:           cfg.psp,
+		PRP:           cfg.prp,
+		Clock:         sim.Clock(),
+		EpisodeLength: cfg.episode,
+		Send: func(proto core.Transport, item *data.Item) {
+			msg := item.Ctx.(*netsim.Message)
+			ds.conn(proto).Send(netsim.AtoB, msg)
+		},
+		OnEpisode: cfg.onEpisode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.ic = ic
+
+	for _, proto := range []core.Transport{core.TCP, core.UDT} {
+		proto := proto
+		conn := ds.conn(proto)
+		conn.OnSent(netsim.AtoB, func(*netsim.Message) { ic.OnSent(proto) })
+		conn.OnDeliver(netsim.AtoB, func(m *netsim.Message) {
+			ds.deliveredBytes += int64(m.Size)
+			if proto == core.TCP {
+				ds.deliveredTCP++
+			} else {
+				ds.deliveredUDT++
+			}
+			if ds.onDeliver != nil {
+				ds.onDeliver(m)
+			}
+		})
+	}
+	ic.Start()
+	return ds, nil
+}
+
+func (ds *dataStream) conn(proto core.Transport) *netsim.Conn {
+	if proto == core.UDT {
+		return ds.udt
+	}
+	return ds.tcp
+}
+
+// enqueue hands one simulated message to the interceptor.
+func (ds *dataStream) enqueue(m *netsim.Message) {
+	ds.ic.Enqueue(&data.Item{Size: m.Size, Ctx: m})
+}
+
+// trueRatioSince returns the receiver-side balance of deliveries since the
+// given counters, in the figures' [−1, 1] form.
+func (ds *dataStream) trueRatioSince(tcp, udt int) (float64, bool) {
+	dt := ds.deliveredTCP - tcp
+	du := ds.deliveredUDT - udt
+	if dt+du == 0 {
+		return 0, false
+	}
+	return float64(du-dt) / float64(du+dt), true
+}
+
+// defaultLearnerPRP builds the DATA learner used where the paper just
+// says "DATA": quadratic approximation backend with the figure-6
+// exploration schedule.
+func defaultLearnerPRP(seed int64) (data.ProtocolRatioPolicy, error) {
+	return data.NewTDRatioLearner(data.LearnerConfig{
+		Estimator: data.ApproxEstimator,
+		EpsMax:    0.3, EpsMin: 0.1, EpsDecay: 0.01,
+		Initial: data.Even,
+		Rand:    rand.New(rand.NewSource(seed)),
+	})
+}
+
+// TransferResult is one simulated disk-to-disk transfer.
+type TransferResult struct {
+	// Elapsed is the virtual transfer duration.
+	Elapsed time.Duration
+	// Throughput is bytes/second.
+	Throughput float64
+}
+
+// RunTransfer moves size bytes over one protocol (TCP, UDT or DATA) on a
+// fresh simulated path and reports throughput. The transfer is
+// disk-bound, like the paper's disk-to-disk measurements. For DATA a
+// fresh learner is created; repeated-transfer experiments should use
+// RunDataTransfer with a persistent ratio policy instead, mirroring the
+// paper's setup where the middleware (and hence the per-destination
+// learner) stays up across the ≥10 repetitions.
+func RunTransfer(cfg netsim.PathConfig, proto core.Transport, size int64, seed int64) (TransferResult, error) {
+	if proto == core.DATA {
+		prp, err := defaultLearnerPRP(seed)
+		if err != nil {
+			return TransferResult{}, err
+		}
+		return RunDataTransfer(cfg, prp, size, seed)
+	}
+	sim := netsim.NewSim(seed)
+	path := sim.NewPath(cfg)
+	chunks := filetransfer.Chunks(size, ChunkSize)
+
+	var delivered int64
+	done := func() bool { return delivered >= size }
+
+	switch proto {
+	case core.TCP, core.UDT:
+		conn := path.NewConn(proto, netsim.WithDiskBound())
+		conn.OnDeliver(netsim.AtoB, func(m *netsim.Message) { delivered += int64(m.Size) })
+		window := filetransfer.NewWindow(chunks, directWindow)
+		var pump func()
+		send := func(c filetransfer.Chunk) {
+			conn.Send(netsim.AtoB, &netsim.Message{
+				ID: uint64(c.Index), Size: c.Size, Kind: netsim.DataKind,
+			})
+		}
+		conn.OnSent(netsim.AtoB, func(*netsim.Message) {
+			window.Ack()
+			pump()
+		})
+		pump = func() {
+			for {
+				c, ok := window.Next()
+				if !ok {
+					return
+				}
+				send(c)
+			}
+		}
+		pump()
+
+	default:
+		return TransferResult{}, fmt.Errorf("bench: unsupported transfer protocol %v", proto)
+	}
+
+	if !sim.RunUntil(done, 48*time.Hour) {
+		return TransferResult{}, fmt.Errorf("bench: %v transfer on %s did not finish (%d of %d bytes)",
+			proto, cfg.Name, delivered, size)
+	}
+	elapsed := sim.Elapsed()
+	return TransferResult{
+		Elapsed:    elapsed,
+		Throughput: float64(size) / elapsed.Seconds(),
+	}, nil
+}
+
+// RunDataTransfer moves size bytes over the DATA meta-protocol using the
+// supplied ratio policy, which persists across calls the way the
+// middleware's per-destination learner persists across transfer runs.
+// Connections (and hence TCP/UDT congestion state) are fresh per run.
+func RunDataTransfer(cfg netsim.PathConfig, prp data.ProtocolRatioPolicy, size int64, seed int64) (TransferResult, error) {
+	sim := netsim.NewSim(seed)
+	path := sim.NewPath(cfg)
+
+	var delivered int64
+	ds, err := newDataStream(sim, dataStreamConfig{
+		path:      path,
+		psp:       data.NewPatternSelection(prp.Initial()),
+		prp:       prp,
+		episode:   time.Second,
+		diskBound: true,
+	})
+	if err != nil {
+		return TransferResult{}, err
+	}
+	ds.onDeliver = func(m *netsim.Message) { delivered += int64(m.Size) }
+	// The DataNetwork queues the whole stream; the interceptor is the
+	// throttle.
+	for _, c := range filetransfer.Chunks(size, ChunkSize) {
+		ds.enqueue(&netsim.Message{ID: uint64(c.Index), Size: c.Size, Kind: netsim.DataKind})
+	}
+	if !sim.RunUntil(func() bool { return delivered >= size }, 48*time.Hour) {
+		return TransferResult{}, fmt.Errorf("bench: DATA transfer on %s did not finish (%d of %d bytes)",
+			cfg.Name, delivered, size)
+	}
+	elapsed := sim.Elapsed()
+	return TransferResult{
+		Elapsed:    elapsed,
+		Throughput: float64(size) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
+)
+
+// SweepPath builds a path configuration for an arbitrary RTT along figure
+// 9's x-axis, interpolating the paper's testbed: datacentre-grade links
+// (125 MB/s) with negligible loss at LAN latencies and WAN-grade random
+// loss beyond ~10 ms, Amazon's UDP policer throughout, and the same disk
+// and serialisation bounds as the canned setups.
+func SweepPath(rtt time.Duration) netsim.PathConfig {
+	loss := 1e-6
+	if rtt >= 10*time.Millisecond {
+		loss = 1e-4
+	}
+	cfg := netsim.PathConfig{
+		Name:           "sweep-" + rtt.String(),
+		RTT:            rtt,
+		LinkRate:       125 * netsim.MBps,
+		LossRate:       loss,
+		UDPPolicerRate: 10 * netsim.MBps,
+		DiskRate:       110 * netsim.MBps,
+		AppRate:        150 * netsim.MBps,
+	}
+	if rtt < time.Millisecond {
+		// Loopback-like: no policer, buffer-limited UDT (the Local setup).
+		cfg.LinkRate = 1500 * netsim.MBps
+		cfg.LossRate = 0
+		cfg.UDPPolicerRate = 0
+		cfg.UDTMaxRate = 30 * netsim.MBps
+	}
+	return cfg
+}
+
+// DefaultSweepRTTs covers figure 9's x-axis from loopback to EU↔AU.
+func DefaultSweepRTTs() []time.Duration {
+	return []time.Duration{
+		100 * time.Microsecond,
+		3 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		155 * time.Millisecond,
+		225 * time.Millisecond,
+		320 * time.Millisecond,
+	}
+}
+
+// ThroughputSweep runs figure 9's experiment over a continuous RTT axis
+// rather than just the four testbed points, exposing the TCP/UDT
+// crossover the paper's discussion centres on. Runs per point follow
+// opts.MinRuns/MaxRuns/RSETarget; the DATA learner persists across a
+// point's runs as in Figure9.
+func ThroughputSweep(rtts []time.Duration, opts Fig9Options) ([]Fig9Row, error) {
+	opts.applyDefaults()
+	if len(rtts) == 0 {
+		rtts = DefaultSweepRTTs()
+	}
+	var rows []Fig9Row
+	for _, rtt := range rtts {
+		setup := SweepPath(rtt)
+		for _, proto := range Figure9Protocols() {
+			var prp data.ProtocolRatioPolicy
+			if proto == core.DATA {
+				var err error
+				prp, err = defaultLearnerPRP(opts.Seed + int64(proto)*101)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var sample stats.Sample
+			for run := 0; run < opts.MaxRuns; run++ {
+				seed := opts.Seed + int64(run)*1009 + int64(proto)*101
+				var res TransferResult
+				var err error
+				if proto == core.DATA {
+					res, err = RunDataTransfer(setup, prp, opts.Size, seed)
+				} else {
+					res, err = RunTransfer(setup, proto, opts.Size, seed)
+				}
+				if err != nil {
+					return nil, err
+				}
+				sample.Add(res.Throughput)
+				if sample.MeetsRSETarget(opts.MinRuns, opts.RSETarget) {
+					break
+				}
+			}
+			rows = append(rows, Fig9Row{
+				Setup:          setup.Name,
+				RTT:            rtt,
+				Proto:          proto,
+				MeanThroughput: sample.Mean(),
+				CI95:           sample.CI95(),
+				Runs:           sample.N(),
+			})
+		}
+	}
+	return rows, nil
+}

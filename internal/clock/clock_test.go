@@ -1,0 +1,268 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	var c Real
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer never fired")
+	}
+}
+
+func TestRealClockStop(t *testing.T) {
+	var c Real
+	fired := make(chan struct{}, 1)
+	tm := c.AfterFunc(time.Hour, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false, want true for unfired timer")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+func TestVirtualNowStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if got, want := v.Now(), time.Unix(0, 0).UTC(); !got.Equal(want) {
+		t.Fatalf("NewVirtual().Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceMovesTime(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Advance(42 * time.Second)
+	if got, want := v.Now(), start.Add(42*time.Second); !got.Equal(want) {
+		t.Fatalf("after Advance Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualTimerFiresAtDeadline(t *testing.T) {
+	v := NewVirtual()
+	var firedAt time.Time
+	v.AfterFunc(10*time.Second, func() { firedAt = v.Now() })
+
+	v.Advance(9 * time.Second)
+	if !firedAt.IsZero() {
+		t.Fatal("timer fired before its deadline")
+	}
+	v.Advance(2 * time.Second)
+	want := time.Unix(10, 0).UTC()
+	if !firedAt.Equal(want) {
+		t.Fatalf("timer fired at %v, want %v", firedAt, want)
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	v.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	v.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	v.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	v.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestVirtualTiesFireInCreationOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	v.Advance(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie order = %v, want ascending creation order", order)
+		}
+	}
+}
+
+func TestVirtualStopPreventsFiring(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped virtual timer fired")
+	}
+}
+
+func TestVirtualStopAfterFire(t *testing.T) {
+	v := NewVirtual()
+	tm := v.AfterFunc(time.Second, func() {})
+	v.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() after firing = true, want false")
+	}
+}
+
+func TestVirtualNestedTimers(t *testing.T) {
+	// A timer scheduled by a firing callback must still fire inside the
+	// same Advance window if due.
+	v := NewVirtual()
+	var events []string
+	v.AfterFunc(1*time.Second, func() {
+		events = append(events, "outer")
+		v.AfterFunc(1*time.Second, func() {
+			events = append(events, "inner")
+		})
+	})
+	v.Advance(3 * time.Second)
+	if len(events) != 2 || events[0] != "outer" || events[1] != "inner" {
+		t.Fatalf("events = %v, want [outer inner]", events)
+	}
+	if got, want := v.Now(), time.Unix(3, 0).UTC(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualCallbackSeesDeadlineTime(t *testing.T) {
+	// When a timer fires mid-window, Now() inside the callback must be the
+	// timer's deadline, not the window end.
+	v := NewVirtual()
+	var seen time.Time
+	v.AfterFunc(2*time.Second, func() { seen = v.Now() })
+	v.Advance(10 * time.Second)
+	if want := time.Unix(2, 0).UTC(); !seen.Equal(want) {
+		t.Fatalf("callback saw Now() = %v, want %v", seen, want)
+	}
+}
+
+func TestVirtualZeroDelayFiresOnNextAdvance(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	v.AfterFunc(0, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("zero-delay timer did not fire on Advance(0)")
+	}
+}
+
+func TestVirtualNegativeDelayClamped(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	v.AfterFunc(-time.Second, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer did not fire immediately")
+	}
+}
+
+func TestVirtualPendingTimers(t *testing.T) {
+	v := NewVirtual()
+	if got := v.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() = %d, want 0", got)
+	}
+	t1 := v.AfterFunc(time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	if got := v.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers() = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := v.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers() after stop = %d, want 1", got)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() after advance = %d, want 0", got)
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual()
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline() ok = true on empty clock")
+	}
+	v.AfterFunc(5*time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	dl, ok := v.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline() ok = false, want true")
+	}
+	if want := time.Unix(2, 0).UTC(); !dl.Equal(want) {
+		t.Fatalf("NextDeadline() = %v, want %v", dl, want)
+	}
+}
+
+func TestVirtualAdvanceToPast(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(10 * time.Second)
+	v.AdvanceTo(time.Unix(5, 0).UTC()) // must be a no-op
+	if got, want := v.Now(), time.Unix(10, 0).UTC(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v (AdvanceTo past must not rewind)", got, want)
+	}
+}
+
+func TestVirtualConcurrentAfterFunc(t *testing.T) {
+	// AfterFunc must be safe to call from multiple goroutines (components
+	// schedule timers concurrently even though Advance is single-threaded).
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.AfterFunc(time.Second, func() {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	v.Advance(2 * time.Second)
+	if count != 50 {
+		t.Fatalf("fired %d timers, want 50", count)
+	}
+}
+
+func TestVirtualManyTimersHeapOrder(t *testing.T) {
+	v := NewVirtual()
+	const n = 1000
+	var fired []time.Time
+	// Insert in a scrambled deterministic order.
+	for i := 0; i < n; i++ {
+		d := time.Duration((i*7919)%n) * time.Millisecond
+		v.AfterFunc(d, func() { fired = append(fired, v.Now()) })
+	}
+	v.Advance(time.Duration(n) * time.Millisecond)
+	if len(fired) != n {
+		t.Fatalf("fired %d timers, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i].Before(fired[i-1]) {
+			t.Fatalf("timer %d fired at %v before previous %v", i, fired[i], fired[i-1])
+		}
+	}
+}

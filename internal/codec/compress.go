@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Compressor transforms payload bytes. The middleware's channel pipeline
+// applies one to every serialised message, mirroring the Snappy handler in
+// the paper's Netty pipeline. DEFLATE stands in for Snappy here (stdlib
+// only); the paper's experiments used incompressible data precisely so that
+// the choice of compressor would not matter.
+type Compressor interface {
+	// Name identifies the compressor for diagnostics.
+	Name() string
+	// Compress returns the compressed form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress reverses Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// Noop is a pass-through Compressor. The zero value is ready to use.
+type Noop struct{}
+
+var _ Compressor = Noop{}
+
+// Name implements Compressor.
+func (Noop) Name() string { return "noop" }
+
+// Compress implements Compressor.
+func (Noop) Compress(src []byte) ([]byte, error) { return src, nil }
+
+// Decompress implements Compressor.
+func (Noop) Decompress(src []byte) ([]byte, error) { return src, nil }
+
+// Flate is a DEFLATE Compressor with pooled encoders.
+type Flate struct {
+	level int
+	pool  sync.Pool
+}
+
+var _ Compressor = (*Flate)(nil)
+
+// NewFlate creates a DEFLATE compressor. Levels follow compress/flate;
+// out-of-range values fall back to flate.DefaultCompression.
+func NewFlate(level int) *Flate {
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		level = flate.DefaultCompression
+	}
+	return &Flate{level: level}
+}
+
+// Name implements Compressor.
+func (f *Flate) Name() string { return "flate" }
+
+// Compress implements Compressor.
+func (f *Flate) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	fw, _ := f.writer(&buf)
+	if _, err := fw.Write(src); err != nil {
+		return nil, fmt.Errorf("codec: flate compress: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("codec: flate close: %w", err)
+	}
+	f.pool.Put(fw)
+	return buf.Bytes(), nil
+}
+
+func (f *Flate) writer(w io.Writer) (*flate.Writer, error) {
+	if fw, ok := f.pool.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw, nil
+	}
+	return flate.NewWriter(w, f.level)
+}
+
+// Decompress implements Compressor.
+func (f *Flate) Decompress(src []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(src))
+	defer fr.Close()
+	out, err := io.ReadAll(io.LimitReader(fr, maxChunk+1))
+	if err != nil {
+		return nil, fmt.Errorf("codec: flate decompress: %w", err)
+	}
+	if len(out) > maxChunk {
+		return nil, fmt.Errorf("%w: decompressed payload", ErrValueOutOfBounds)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame is the default upper bound on a single frame's payload.
+// The paper's implementation used 65 kB Netty serialisation buffers; we
+// allow some headroom for headers and compression expansion.
+const DefaultMaxFrame = 1 << 20
+
+// frameHeaderLen is the size of the length prefix on stream transports.
+const frameHeaderLen = 4
+
+// WriteFrame writes payload prefixed by its 32-bit big-endian length.
+func WriteFrame(w io.Writer, payload []byte, maxFrame int) error {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), maxFrame)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. io.EOF is returned unchanged
+// when the stream ends cleanly between frames; a partial frame yields
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, err
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,36 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyDecodeNeverPanicsOnGarbage feeds arbitrary bytes through
+// every wire-facing decoder: errors are fine, panics are not. The
+// middleware decodes traffic from the network, so this is a security
+// property, not just robustness.
+func TestPropertyDecodeNeverPanicsOnGarbage(t *testing.T) {
+	var reg Registry
+	reg.MustRegister(testMsgSerializer{}, testMsg{})
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("decoder panicked on %v: %v", b, r)
+				ok = false
+			}
+		}()
+		_, _ = reg.Decode(bytes.NewReader(b))
+		_, _ = ReadFrame(bytes.NewReader(b), 0)
+		_, _ = ReadBytes(bytes.NewReader(b))
+		_, _ = ReadString(bytes.NewReader(b))
+		_, _ = ReadUvarint(bytes.NewReader(b))
+		_, _ = ReadVarint(bytes.NewReader(b))
+		c := NewFlate(-1)
+		_, _ = c.Decompress(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

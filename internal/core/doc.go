@@ -1,0 +1,20 @@
+// Package core is KompicsMessaging's public messaging API — the paper's
+// primary contribution (§III). It defines:
+//
+//   - the Transport enumeration with per-message protocol selection,
+//     including the DATA pseudo-protocol resolved at runtime by the
+//     adaptive interceptor (§IV);
+//   - the Msg, Header and Address interfaces (listings 2–4) with default
+//     implementations (BasicAddress, BasicHeader) and the multi-hop
+//     RoutingHeader (listing 5);
+//   - the Network port type (listing 1) carrying Msg traffic and
+//     MessageNotify requests/responses;
+//   - the Network component which bridges the Kompics runtime and the
+//     transport drivers, manages per-(peer, protocol) channels lazily, and
+//     reflects messages between virtual nodes on the same host without
+//     serialisation.
+//
+// Network-message semantics differ deliberately from Kompics channel
+// semantics: delivery is at-most-once, and FIFO order only holds on
+// connection-oriented transports (TCP, UDT). See §III-B of the paper.
+package core

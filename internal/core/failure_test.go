@@ -1,0 +1,84 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRoguePeerGarbageIgnored connects raw sockets to a running node and
+// sends undecodable junk over TCP and UDP: the middleware must drop it
+// and keep serving legitimate traffic.
+func TestRoguePeerGarbageIgnored(t *testing.T) {
+	ports := freePorts(t, 2)
+	a := startNode(t, ports[0])
+	b := startNode(t, ports[1])
+	waitFor(t, "listeners", func() bool { return a.net.Addr(TCP) != "" })
+
+	// Valid frame envelope, garbage payload: decode must fail gracefully.
+	tcpConn, err := net.Dial("tcp", a.net.Addr(TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-byte length prefix (8) + 8 junk bytes (flag byte 0 = raw, then a
+	// serializer id that is not registered).
+	tcpConn.Write([]byte{0, 0, 0, 8, 0, 0x7F, 1, 2, 3, 4, 5, 6})
+	// Compressed flag with garbage body.
+	tcpConn.Write([]byte{0, 0, 0, 4, 1, 0xFF, 0x00, 0x11})
+	tcpConn.Close()
+
+	udpConn, err := net.Dial("udp", a.net.Addr(UDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpConn.Write([]byte{0, 0x7F, 9, 9})
+	udpConn.Write([]byte{}) // empty datagram
+	udpConn.Close()
+
+	// Legitimate traffic still works.
+	b.appTrigger(&DataMsg{Hdr: NewHeader(b.self, a.self, TCP), Payload: []byte("ok")})
+	waitFor(t, "legit delivery after garbage", func() bool { return a.app.receivedCount() == 1 })
+}
+
+// TestStopThenRestartNetwork stops the network component (listeners come
+// down) and restarts it (listeners come back on the same ports).
+func TestStopThenRestartNetwork(t *testing.T) {
+	ports := freePorts(t, 2)
+	a := startNode(t, ports[0])
+	b := startNode(t, ports[1])
+
+	b.appTrigger(&DataMsg{Hdr: NewHeader(b.self, a.self, TCP), Payload: []byte("1")})
+	waitFor(t, "first delivery", func() bool { return a.app.receivedCount() == 1 })
+
+	// Stop node a's network; its port must become free again.
+	a.sys.Stop(a.netComp)
+	a.sys.AwaitQuiescence()
+	waitFor(t, "listener released", func() bool {
+		l, err := net.Listen("tcp", a.self.AsSocket())
+		if err != nil {
+			return false
+		}
+		l.Close()
+		return true
+	})
+
+	// Restart; traffic must flow again (b redials after its channel
+	// failed).
+	a.sys.Start(a.netComp)
+	waitFor(t, "listener back", func() bool {
+		c, err := net.DialTimeout("tcp", a.self.AsSocket(), time.Second)
+		if err != nil {
+			return false
+		}
+		c.Close()
+		return true
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && a.app.receivedCount() < 2 {
+		b.appTrigger(&DataMsg{Hdr: NewHeader(b.self, a.self, TCP), Payload: []byte("2")})
+		time.Sleep(50 * time.Millisecond)
+	}
+	if a.app.receivedCount() < 2 {
+		t.Fatal("no delivery after network restart")
+	}
+}

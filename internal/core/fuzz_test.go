@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyWirePayloadNeverPanics injects arbitrary bytes through the
+// network component's inbound payload path (the surface a hostile peer
+// controls): garbage is logged and dropped, never a crash.
+func TestPropertyWirePayloadNeverPanics(t *testing.T) {
+	ports := freePorts(t, 1)
+	n := startNode(t, ports[0]).net
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("onWirePayload panicked on %v: %v", b, r)
+				ok = false
+			}
+		}()
+		n.onWirePayload(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

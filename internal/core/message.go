@@ -1,0 +1,154 @@
+package core
+
+import "fmt"
+
+// Header carries a message's routing information (listing 3). Headers are
+// interfaces so applications can choose implementations — add reply-to
+// fields, multi-hop routes, vnode IDs — without runtime casts of a fixed
+// class hierarchy.
+type Header interface {
+	// Source returns the sending endpoint.
+	Source() Address
+	// Destination returns the receiving endpoint.
+	Destination() Address
+	// Protocol returns the transport the message should travel over.
+	Protocol() Transport
+}
+
+// Msg is the interface every network message implements (listing 2).
+type Msg interface {
+	// Header returns the message's header.
+	Header() Header
+}
+
+// BasicHeader is the default Header implementation.
+type BasicHeader struct {
+	Src   Address
+	Dst   Address
+	Proto Transport
+}
+
+var _ Header = BasicHeader{}
+
+// NewHeader builds a BasicHeader.
+func NewHeader(src, dst Address, proto Transport) BasicHeader {
+	return BasicHeader{Src: src, Dst: dst, Proto: proto}
+}
+
+// Source implements Header.
+func (h BasicHeader) Source() Address { return h.Src }
+
+// Destination implements Header.
+func (h BasicHeader) Destination() Address { return h.Dst }
+
+// Protocol implements Header.
+func (h BasicHeader) Protocol() Transport { return h.Proto }
+
+// String implements fmt.Stringer.
+func (h BasicHeader) String() string {
+	return fmt.Sprintf("%v → %v over %v", h.Src, h.Dst, h.Proto)
+}
+
+// WithProtocol returns a copy of the header with a different transport.
+// Headers are treated as immutable values; the DATA interceptor uses this
+// to substitute the concrete protocol for Transport.DATA.
+func (h BasicHeader) WithProtocol(t Transport) BasicHeader {
+	h.Proto = t
+	return h
+}
+
+// Route describes the remaining hops of a multi-hop message. Current is
+// the hop being taken; the final element is the ultimate destination.
+type Route struct {
+	// Hops are the remaining intermediate and final destinations.
+	Hops []Address
+	// Origin is the original sender, preserved across hops so the final
+	// receiver can reply directly.
+	Origin Address
+}
+
+// HasNext reports whether at least one forwarding hop remains after the
+// current one.
+func (r *Route) HasNext() bool { return r != nil && len(r.Hops) > 1 }
+
+// Next returns the route for the following hop.
+func (r *Route) Next() *Route {
+	if !r.HasNext() {
+		return nil
+	}
+	return &Route{Hops: r.Hops[1:], Origin: r.Origin}
+}
+
+// RoutingHeader is a Header for messages forwarded through intermediary
+// hosts but replied to directly (listing 5). While a route is present,
+// Source reports the route origin and Destination the next hop; once the
+// route is exhausted the base header's values apply.
+type RoutingHeader struct {
+	Base  BasicHeader
+	Route *Route
+}
+
+var _ Header = RoutingHeader{}
+
+// Source implements Header: the route origin when routed, else the base
+// source.
+func (h RoutingHeader) Source() Address {
+	if h.Route != nil && h.Route.Origin != nil {
+		return h.Route.Origin
+	}
+	return h.Base.Source()
+}
+
+// Destination implements Header: the next hop while one remains, else the
+// base destination.
+func (h RoutingHeader) Destination() Address {
+	if h.Route != nil && len(h.Route.Hops) > 0 {
+		return h.Route.Hops[0]
+	}
+	return h.Base.Destination()
+}
+
+// Protocol implements Header.
+func (h RoutingHeader) Protocol() Transport { return h.Base.Protocol() }
+
+// Advance returns the header for the next hop, or ok=false when the
+// current hop is final.
+func (h RoutingHeader) Advance() (RoutingHeader, bool) {
+	if h.Route == nil || !h.Route.HasNext() {
+		return RoutingHeader{}, false
+	}
+	return RoutingHeader{Base: h.Base, Route: h.Route.Next()}, true
+}
+
+// FinalDestination returns the ultimate receiver regardless of remaining
+// hops.
+func (h RoutingHeader) FinalDestination() Address {
+	if h.Route != nil && len(h.Route.Hops) > 0 {
+		return h.Route.Hops[len(h.Route.Hops)-1]
+	}
+	return h.Base.Destination()
+}
+
+// DataMsg is a ready-made Msg carrying an opaque payload. Applications
+// with richer message types implement Msg themselves and register a codec
+// serialiser.
+type DataMsg struct {
+	Hdr     BasicHeader
+	Payload []byte
+}
+
+var _ Msg = &DataMsg{}
+
+// Header implements Msg.
+func (m *DataMsg) Header() Header { return m.Hdr }
+
+// Size returns the payload length in bytes.
+func (m *DataMsg) Size() int { return len(m.Payload) }
+
+// WithWireProtocol returns a copy of the message stamped with a concrete
+// transport. The DATA interceptor uses this to substitute TCP or UDT for
+// Transport.DATA at release time; the payload is shared, not copied
+// (messages are immutable by convention).
+func (m *DataMsg) WithWireProtocol(t Transport) Msg {
+	return &DataMsg{Hdr: m.Hdr.WithProtocol(t), Payload: m.Payload}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/transport"
+)
+
+// NetworkPort is the Kompics network port (listing 1): messages travel in
+// both directions, and senders may request delivery notifications.
+var NetworkPort = kompics.NewPortType("Network").
+	Request((*Msg)(nil)).
+	Request(NotifyReq{}).
+	Indication((*Msg)(nil)).
+	Indication(NotifyResp{})
+
+// NotifyReq asks the network to report a message's send status
+// (MessageNotify.Req in the paper). ID correlates the response.
+type NotifyReq struct {
+	// ID is a caller-chosen correlation token.
+	ID uint64
+	// Msg is the message to send.
+	Msg Msg
+}
+
+// NotifyResp reports the outcome of a NotifyReq (MessageNotify.Resp).
+// A nil Err means the message was handed to the wire successfully —
+// at-most-once semantics, not an end-to-end acknowledgement (§III-B).
+type NotifyResp struct {
+	// ID echoes the request's correlation token.
+	ID uint64
+	// Err is nil on success.
+	Err error
+}
+
+// Sent reports whether the message was sent successfully.
+func (r NotifyResp) Sent() bool { return r.Err == nil }
+
+// ErrNoSerializer reports an outgoing message type with no registered
+// serialiser.
+var ErrNoSerializer = errors.New("core: no serializer registered for message")
+
+// compressedFlag precedes every wire payload: 0 = raw, 1 = compressed.
+const (
+	wireRaw        byte = 0
+	wireCompressed byte = 1
+)
+
+// NetworkConfig parameterises the Network component.
+type NetworkConfig struct {
+	// Self is this host's advertised address. Listeners bind to its
+	// port on all interfaces unless ListenAddr overrides it.
+	Self Address
+	// ListenAddr optionally overrides the bind address ("host:port").
+	ListenAddr string
+	// Protocols enables listeners (default TCP, UDP, UDT).
+	Protocols []Transport
+	// Registry supplies message serialisers (default NewRegistry()).
+	Registry *codec.Registry
+	// Compressor wraps wire payloads (default flate, mirroring the
+	// paper's default-on Snappy handler). Use codec.Noop to disable.
+	Compressor codec.Compressor
+	// UDTPortOffset is added to a destination address's port for UDT
+	// traffic, matching the listener-side convention that UDT binds at
+	// ListenAddr port + offset (default 1; raw UDP and UDT cannot share
+	// one UDP port).
+	UDTPortOffset int
+	// Transport tunes the underlying endpoint (UDT config, frame limit).
+	Transport transport.Config
+	// Logger receives diagnostics (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// Network is the middleware component bridging the Kompics runtime and the
+// transport layer. It provides NetworkPort; apps connect a required
+// NetworkPort to it.
+//
+// Messages whose destination is the local host are "reflected" back up
+// without serialisation (§III-B); everything else is serialised,
+// optionally compressed, and handed to the per-(destination, protocol)
+// channel, created lazily on first use.
+type Network struct {
+	cfg   NetworkConfig
+	tcfg  transport.Config
+	port  *kompics.Port
+	ep    *transport.Endpoint
+	comp  *kompics.Component
+	ctx   *kompics.Context
+	epsMu sync.Mutex // guards ep swaps across restarts
+}
+
+var _ kompics.Definition = (*Network)(nil)
+
+// NewNetwork validates cfg and creates the component definition; hand it
+// to kompics.System.Create.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Self == nil {
+		return nil, errors.New("core: NetworkConfig.Self is required")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = cfg.Self.AsSocket()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.Compressor == nil {
+		cfg.Compressor = codec.NewFlate(-1)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.UDTPortOffset == 0 {
+		cfg.UDTPortOffset = 1
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Port returns the provided network port, for wiring after Create.
+func (n *Network) Port() *kompics.Port { return n.port }
+
+// Addr reports the bound listener address for proto (useful with
+// ephemeral ports in tests); empty when not listening.
+func (n *Network) Addr(proto Transport) string {
+	ep := n.endpoint()
+	if ep == nil {
+		return ""
+	}
+	return ep.Addr(proto)
+}
+
+func (n *Network) endpoint() *transport.Endpoint {
+	n.epsMu.Lock()
+	defer n.epsMu.Unlock()
+	return n.ep
+}
+
+func (n *Network) setEndpoint(ep *transport.Endpoint) {
+	n.epsMu.Lock()
+	n.ep = ep
+	n.epsMu.Unlock()
+}
+
+// inbound is the self-event carrying a received message into component
+// context.
+type inbound struct{ msg Msg }
+
+// sendOutcome is the self-event carrying a transport notification back
+// into component context.
+type sendOutcome struct {
+	id  uint64
+	err error
+}
+
+// Init implements kompics.Definition.
+func (n *Network) Init(ctx *kompics.Context) {
+	n.ctx = ctx
+	n.comp = ctx.Component()
+	n.port = ctx.Provides(NetworkPort)
+
+	n.tcfg = n.cfg.Transport
+	n.tcfg.ListenAddr = n.cfg.ListenAddr
+	n.tcfg.UDTPortOffset = n.cfg.UDTPortOffset
+	if len(n.cfg.Protocols) > 0 {
+		n.tcfg.Protocols = n.cfg.Protocols
+	}
+	n.tcfg.Logger = n.cfg.Logger
+	n.tcfg.OnMessage = n.onWirePayload
+	if _, err := transport.NewEndpoint(n.tcfg); err != nil {
+		panic(fmt.Sprintf("core: invalid transport config: %v", err))
+	}
+
+	ctx.Subscribe(n.port, (*Msg)(nil), func(e kompics.Event) {
+		n.sendMsg(e.(Msg), 0, false)
+	})
+	ctx.Subscribe(n.port, NotifyReq{}, func(e kompics.Event) {
+		req := e.(NotifyReq)
+		n.sendMsg(req.Msg, req.ID, true)
+	})
+	ctx.SubscribeSelf(inbound{}, func(e kompics.Event) {
+		ctx.Trigger(e.(inbound).msg, n.port)
+	})
+	ctx.SubscribeSelf(sendOutcome{}, func(e kompics.Event) {
+		o := e.(sendOutcome)
+		ctx.Trigger(NotifyResp{ID: o.id, Err: o.err}, n.port)
+	})
+
+	// Endpoints are single-use: each Start builds a fresh one, so the
+	// component can be stopped and restarted (listeners re-bind).
+	ctx.OnStart(func() {
+		ep, err := transport.NewEndpoint(n.tcfg)
+		if err != nil {
+			panic(fmt.Sprintf("core: transport config: %v", err))
+		}
+		if err := ep.Start(); err != nil {
+			n.cfg.Logger.Error("core: network listeners failed", "err", err)
+			panic(err) // faults the component; supervisors see it
+		}
+		n.setEndpoint(ep)
+	})
+	stop := func() {
+		if ep := n.endpoint(); ep != nil {
+			ep.Close()
+		}
+	}
+	ctx.OnStop(stop)
+	ctx.OnKill(stop)
+}
+
+// sendMsg routes one outgoing message: local reflection, or serialise +
+// transport.
+func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
+	hdr := msg.Header()
+	dst := hdr.Destination()
+	if dst == nil {
+		n.notify(notifyID, wantNotify, errors.New("core: message has no destination"))
+		return
+	}
+	if n.cfg.Self.SameHostAs(dst) {
+		// Local vnode communication: reflect without serialisation. The
+		// receiver gets the same message instance — Kompics messages are
+		// immutable by convention.
+		n.ctx.Trigger(msg, n.port)
+		n.notify(notifyID, wantNotify, nil)
+		return
+	}
+	proto := hdr.Protocol()
+	if !proto.Wire() {
+		n.notify(notifyID, wantNotify,
+			fmt.Errorf("core: cannot send %v message without a DATA interceptor", proto))
+		return
+	}
+	payload, err := n.encode(msg)
+	if err != nil {
+		n.notify(notifyID, wantNotify, err)
+		return
+	}
+	var cb func(error)
+	if wantNotify {
+		id := notifyID
+		cb = func(err error) { n.comp.SelfTrigger(sendOutcome{id: id, err: err}) }
+	}
+	dest := dst.AsSocket()
+	if proto == UDT {
+		shifted, err := transport.OffsetPort(dest, n.cfg.UDTPortOffset)
+		if err != nil {
+			n.notify(notifyID, wantNotify, err)
+			return
+		}
+		dest = shifted
+	}
+	ep := n.endpoint()
+	if ep == nil {
+		n.notify(notifyID, wantNotify, errors.New("core: network not started"))
+		return
+	}
+	ep.Send(proto, dest, payload, cb)
+}
+
+func (n *Network) notify(id uint64, want bool, err error) {
+	if !want {
+		if err != nil {
+			n.cfg.Logger.Warn("core: dropping unsendable message", "err", err)
+		}
+		return
+	}
+	n.ctx.Trigger(NotifyResp{ID: id, Err: err}, n.port)
+}
+
+// encode serialises and optionally compresses a message.
+func (n *Network) encode(msg Msg) ([]byte, error) {
+	var body bytes.Buffer
+	body.WriteByte(wireRaw)
+	if err := n.cfg.Registry.Encode(&body, msg); err != nil {
+		return nil, fmt.Errorf("%w: %T (%v)", ErrNoSerializer, msg, err)
+	}
+	raw := body.Bytes()
+	if _, isNoop := n.cfg.Compressor.(codec.Noop); isNoop {
+		return raw, nil
+	}
+	packed, err := n.cfg.Compressor.Compress(raw[1:])
+	if err != nil || len(packed)+1 >= len(raw) {
+		// Compression failed or did not help: ship raw.
+		return raw, nil
+	}
+	out := make([]byte, 0, len(packed)+1)
+	out = append(out, wireCompressed)
+	out = append(out, packed...)
+	return out, nil
+}
+
+// onWirePayload runs on transport goroutines: decode and hand the message
+// into component context.
+func (n *Network) onWirePayload(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	body := payload[1:]
+	if payload[0] == wireCompressed {
+		raw, err := n.cfg.Compressor.Decompress(body)
+		if err != nil {
+			n.cfg.Logger.Warn("core: dropping undecompressable message", "err", err)
+			return
+		}
+		body = raw
+	}
+	v, err := n.cfg.Registry.Decode(bytes.NewReader(body))
+	if err != nil {
+		n.cfg.Logger.Warn("core: dropping undecodable message", "err", err)
+		return
+	}
+	msg, ok := v.(Msg)
+	if !ok {
+		n.cfg.Logger.Warn("core: decoded value is not a Msg", "type", fmt.Sprintf("%T", v))
+		return
+	}
+	n.comp.SelfTrigger(inbound{msg: msg})
+}

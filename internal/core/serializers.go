@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+)
+
+// Serializer IDs reserved by the middleware; applications should register
+// their own serialisers at IDs ≥ 16.
+const (
+	// SerializerIDDataMsg identifies the built-in DataMsg serialiser.
+	SerializerIDDataMsg codec.SerializerID = 1
+	// FirstApplicationSerializerID is the lowest ID free for applications.
+	FirstApplicationSerializerID codec.SerializerID = 16
+)
+
+// WriteAddress encodes an Address (IP, port) for wire headers.
+func WriteAddress(w io.Writer, a Address) error {
+	ip := a.IP().To16()
+	if ip == nil {
+		return fmt.Errorf("core: address %v has no IP form", a)
+	}
+	if err := codec.WriteBytes(w, ip); err != nil {
+		return err
+	}
+	return codec.WriteUvarint(w, uint64(a.Port()))
+}
+
+// ReadAddress decodes an address written by WriteAddress.
+func ReadAddress(r io.Reader) (BasicAddress, error) {
+	ip, err := codec.ReadBytes(r)
+	if err != nil {
+		return BasicAddress{}, err
+	}
+	port, err := codec.ReadUvarint(r)
+	if err != nil {
+		return BasicAddress{}, err
+	}
+	if port > 65535 {
+		return BasicAddress{}, fmt.Errorf("core: port %d out of range", port)
+	}
+	return NewAddress(net.IP(ip), int(port)), nil
+}
+
+// WriteBasicHeader encodes a BasicHeader.
+func WriteBasicHeader(w io.Writer, h BasicHeader) error {
+	if err := WriteAddress(w, h.Src); err != nil {
+		return err
+	}
+	if err := WriteAddress(w, h.Dst); err != nil {
+		return err
+	}
+	return codec.WriteUvarint(w, uint64(h.Proto))
+}
+
+// ReadBasicHeader decodes a header written by WriteBasicHeader.
+func ReadBasicHeader(r io.Reader) (BasicHeader, error) {
+	src, err := ReadAddress(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	dst, err := ReadAddress(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	proto, err := codec.ReadUvarint(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	t := Transport(proto)
+	if !t.Valid() {
+		return BasicHeader{}, fmt.Errorf("core: invalid transport %d on wire", proto)
+	}
+	return BasicHeader{Src: src, Dst: dst, Proto: t}, nil
+}
+
+// DataMsgSerializer is the wire codec for DataMsg.
+type DataMsgSerializer struct{}
+
+var _ codec.Serializer = DataMsgSerializer{}
+
+// ID implements codec.Serializer.
+func (DataMsgSerializer) ID() codec.SerializerID { return SerializerIDDataMsg }
+
+// Serialize implements codec.Serializer.
+func (DataMsgSerializer) Serialize(w io.Writer, v interface{}) error {
+	m, ok := v.(*DataMsg)
+	if !ok {
+		return fmt.Errorf("core: DataMsgSerializer cannot encode %T", v)
+	}
+	if err := WriteBasicHeader(w, m.Hdr); err != nil {
+		return err
+	}
+	return codec.WriteBytes(w, m.Payload)
+}
+
+// Deserialize implements codec.Serializer.
+func (DataMsgSerializer) Deserialize(r io.Reader) (interface{}, error) {
+	hdr, err := ReadBasicHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := codec.ReadBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DataMsg{Hdr: hdr, Payload: payload}, nil
+}
+
+// NewRegistry returns a codec registry preloaded with the middleware's
+// built-in serialisers.
+func NewRegistry() *codec.Registry {
+	var reg codec.Registry
+	reg.MustRegister(DataMsgSerializer{}, (*DataMsg)(nil))
+	return &reg
+}

@@ -1,0 +1,16 @@
+package core
+
+import "github.com/kompics/kompicsmessaging-go/internal/wire"
+
+// Transport re-exports wire.Transport: the per-message protocol selector.
+// It lives in the leaf package wire so the transport layer can share the
+// type without an import cycle; all middleware code uses core.Transport.
+type Transport = wire.Transport
+
+// Supported transports (see wire package for semantics).
+const (
+	UDP  = wire.UDP
+	TCP  = wire.TCP
+	UDT  = wire.UDT
+	DATA = wire.DATA
+)

@@ -1,0 +1,285 @@
+package data
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+// fakeNet stands in for the core network component: it records NotifyReqs
+// and immediately acknowledges them, and can inject inbound messages.
+type fakeNet struct {
+	port *kompics.Port
+	comp *kompics.Component
+
+	mu   sync.Mutex
+	sent []core.Msg
+}
+
+type fakeInject struct{ e kompics.Event }
+
+func (f *fakeNet) Init(ctx *kompics.Context) {
+	f.comp = ctx.Component()
+	f.port = ctx.Provides(core.NetworkPort)
+	ctx.Subscribe(f.port, (*core.Msg)(nil), func(e kompics.Event) {
+		f.record(e.(core.Msg))
+	})
+	ctx.Subscribe(f.port, core.NotifyReq{}, func(e kompics.Event) {
+		req := e.(core.NotifyReq)
+		f.record(req.Msg)
+		ctx.Trigger(core.NotifyResp{ID: req.ID}, f.port)
+	})
+	ctx.SubscribeSelf(fakeInject{}, func(e kompics.Event) {
+		ctx.Trigger(e.(fakeInject).e, f.port)
+	})
+}
+
+func (f *fakeNet) record(m core.Msg) {
+	f.mu.Lock()
+	f.sent = append(f.sent, m)
+	f.mu.Unlock()
+}
+
+func (f *fakeNet) sentMsgs() []core.Msg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]core.Msg, len(f.sent))
+	copy(out, f.sent)
+	return out
+}
+
+// dataApp is the application side above the DataNetwork.
+type dataApp struct {
+	port *kompics.Port
+	comp *kompics.Component
+
+	mu       sync.Mutex
+	received []core.Msg
+	notifies []core.NotifyResp
+}
+
+type appSend struct{ e kompics.Event }
+
+func (a *dataApp) Init(ctx *kompics.Context) {
+	a.comp = ctx.Component()
+	a.port = ctx.Requires(core.NetworkPort)
+	ctx.Subscribe(a.port, (*core.Msg)(nil), func(e kompics.Event) {
+		a.mu.Lock()
+		a.received = append(a.received, e.(core.Msg))
+		a.mu.Unlock()
+	})
+	ctx.Subscribe(a.port, core.NotifyResp{}, func(e kompics.Event) {
+		a.mu.Lock()
+		a.notifies = append(a.notifies, e.(core.NotifyResp))
+		a.mu.Unlock()
+	})
+	ctx.SubscribeSelf(appSend{}, func(e kompics.Event) {
+		ctx.Trigger(e.(appSend).e, a.port)
+	})
+}
+
+type dataHarness struct {
+	sys  *kompics.System
+	app  *dataApp
+	fake *fakeNet
+	dn   *Network
+}
+
+func newDataHarness(t *testing.T, cfg NetworkConfig) *dataHarness {
+	t.Helper()
+	sys := kompics.NewSystem()
+	t.Cleanup(sys.Shutdown)
+
+	dn, err := NewDataNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnComp := sys.Create(dn)
+	fake := &fakeNet{}
+	fakeComp := sys.Create(fake)
+	app := &dataApp{}
+	appComp := sys.Create(app)
+
+	kompics.MustConnect(fake.port, dn.Required())
+	kompics.MustConnect(dn.Provided(), app.port)
+
+	sys.Start(dnComp)
+	sys.Start(fakeComp)
+	sys.Start(appComp)
+	return &dataHarness{sys: sys, app: app, fake: fake, dn: dn}
+}
+
+func testMsg(proto core.Transport, destPort int) *core.DataMsg {
+	return &core.DataMsg{
+		Hdr: core.NewHeader(
+			core.MustParseAddress("10.0.0.1:1000"),
+			core.NewAddress(core.MustParseAddress("10.0.0.2:1").IP(), destPort),
+			proto,
+		),
+		Payload: make([]byte, 100),
+	}
+}
+
+func awaitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNewDataNetworkValidation(t *testing.T) {
+	if _, err := NewDataNetwork(NetworkConfig{}); err == nil {
+		t.Fatal("missing NewPRP accepted")
+	}
+}
+
+func TestDataNetworkSubstitutesProtocols(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPSP: func() ProtocolSelectionPolicy { return NewPatternSelection(MustRatio(1, 3)) },
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: MustRatio(1, 3)} },
+	})
+	for i := 0; i < 9; i++ {
+		h.app.comp.SelfTrigger(appSend{e: testMsg(core.DATA, 2000)})
+	}
+	awaitCond(t, "9 wire messages", func() bool { return len(h.fake.sentMsgs()) == 9 })
+	udt, tcp := 0, 0
+	for _, m := range h.fake.sentMsgs() {
+		switch m.Header().Protocol() {
+		case core.UDT:
+			udt++
+		case core.TCP:
+			tcp++
+		default:
+			t.Fatalf("wire message still carries %v", m.Header().Protocol())
+		}
+	}
+	if udt != 3 || tcp != 6 {
+		t.Fatalf("protocol split = %d UDT / %d TCP, want 3/6", udt, tcp)
+	}
+}
+
+func TestDataNetworkPassesThroughNonData(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: Even} },
+	})
+	h.app.comp.SelfTrigger(appSend{e: testMsg(core.TCP, 2000)})
+	awaitCond(t, "passthrough", func() bool { return len(h.fake.sentMsgs()) == 1 })
+	if got := h.fake.sentMsgs()[0].Header().Protocol(); got != core.TCP {
+		t.Fatalf("passthrough rewrote protocol to %v", got)
+	}
+}
+
+func TestDataNetworkNotifyRoundTrip(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: PureTCP} },
+	})
+	h.app.comp.SelfTrigger(appSend{e: core.NotifyReq{ID: 4242, Msg: testMsg(core.DATA, 2000)}})
+	awaitCond(t, "app notify", func() bool {
+		h.app.mu.Lock()
+		defer h.app.mu.Unlock()
+		return len(h.app.notifies) == 1
+	})
+	h.app.mu.Lock()
+	defer h.app.mu.Unlock()
+	if h.app.notifies[0].ID != 4242 || !h.app.notifies[0].Sent() {
+		t.Fatalf("notify = %+v", h.app.notifies[0])
+	}
+}
+
+func TestDataNetworkNotifyRoundTripPassthrough(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: PureTCP} },
+	})
+	h.app.comp.SelfTrigger(appSend{e: core.NotifyReq{ID: 7, Msg: testMsg(core.UDP, 2000)}})
+	awaitCond(t, "passthrough notify", func() bool {
+		h.app.mu.Lock()
+		defer h.app.mu.Unlock()
+		return len(h.app.notifies) == 1
+	})
+	h.app.mu.Lock()
+	defer h.app.mu.Unlock()
+	if h.app.notifies[0].ID != 7 {
+		t.Fatalf("notify ID = %d, want 7 (remap leaked)", h.app.notifies[0].ID)
+	}
+}
+
+func TestDataNetworkDeliversInbound(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: Even} },
+	})
+	h.fake.comp.SelfTrigger(fakeInject{e: testMsg(core.TCP, 1000)})
+	awaitCond(t, "inbound delivery", func() bool {
+		h.app.mu.Lock()
+		defer h.app.mu.Unlock()
+		return len(h.app.received) == 1
+	})
+}
+
+func TestDataNetworkRejectsNonReplaceableDataMsg(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: Even} },
+	})
+	msg := plainMsg{hdr: core.NewHeader(
+		core.MustParseAddress("10.0.0.1:1"),
+		core.MustParseAddress("10.0.0.2:2"),
+		core.DATA,
+	)}
+	h.app.comp.SelfTrigger(appSend{e: core.NotifyReq{ID: 3, Msg: msg}})
+	awaitCond(t, "rejection notify", func() bool {
+		h.app.mu.Lock()
+		defer h.app.mu.Unlock()
+		return len(h.app.notifies) == 1
+	})
+	h.app.mu.Lock()
+	defer h.app.mu.Unlock()
+	if h.app.notifies[0].Sent() {
+		t.Fatal("non-replaceable DATA message accepted")
+	}
+}
+
+// plainMsg implements core.Msg but not ProtocolReplaceable.
+type plainMsg struct{ hdr core.BasicHeader }
+
+func (m plainMsg) Header() core.Header { return m.hdr }
+
+func TestDataNetworkSeparateStreamsPerDestination(t *testing.T) {
+	h := newDataHarness(t, NetworkConfig{
+		NewPSP: func() ProtocolSelectionPolicy { return NewPatternSelection(Even) },
+		NewPRP: func() ProtocolRatioPolicy { return StaticRatio{R: Even} },
+	})
+	h.app.comp.SelfTrigger(appSend{e: testMsg(core.DATA, 2000)})
+	h.app.comp.SelfTrigger(appSend{e: testMsg(core.DATA, 3000)})
+	awaitCond(t, "two wire messages", func() bool { return len(h.fake.sentMsgs()) == 2 })
+	h.sys.AwaitQuiescence()
+	if got := len(h.dn.streams); got != 2 {
+		t.Fatalf("streams = %d, want 2 (one per destination)", got)
+	}
+}
+
+func TestDataNetworkEpisodesAdvanceWithRealClock(t *testing.T) {
+	var mu sync.Mutex
+	episodes := 0
+	h := newDataHarness(t, NetworkConfig{
+		NewPRP:        func() ProtocolRatioPolicy { return StaticRatio{R: PureTCP} },
+		EpisodeLength: 20 * time.Millisecond,
+		OnEpisode: func(string, EpisodeStats, Ratio) {
+			mu.Lock()
+			episodes++
+			mu.Unlock()
+		},
+	})
+	h.app.comp.SelfTrigger(appSend{e: testMsg(core.DATA, 2000)})
+	awaitCond(t, "episodes ticking", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return episodes >= 3
+	})
+}

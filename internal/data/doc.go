@@ -1,0 +1,29 @@
+// Package data implements the adaptive transport-selection system of §IV:
+// the DATA pseudo-protocol. An interceptor component queues outgoing data
+// messages per destination and releases them to the network layer at an
+// adaptive rate, stamping each with TCP or UDT as chosen by the current
+// protocol selection policy (PSP). The target TCP/UDT mix is prescribed by
+// a protocol ratio policy (PRP), which may be static or an online
+// Sarsa(λ) learner rewarded with observed throughput.
+//
+// Protocol selection policies (§IV-B):
+//
+//   - RandomSelection draws each message's protocol from a Bernoulli
+//     distribution — unbiased in the long run but skewed over short
+//     windows (figure 1), which distorts the learner's rewards.
+//   - PatternSelection emits a deterministic interleaving (the p-pattern
+//     or p+1-pattern, whichever leaves the smaller rest) whose running
+//     ratio stays close to the target at every prefix and is exact over a
+//     full pattern.
+//
+// Protocol ratio policies (§IV-C):
+//
+//   - StaticRatio pins the ratio (pure TCP, pure UDT, any fixed mix).
+//   - TDRatioLearner adapts the ratio each episode with Sarsa(λ) over the
+//     discretised ratio space (κ = 1/5 → 11 states, 5 actions), using one
+//     of the three rl estimators (matrix, model-based, quadratic
+//     approximation — figures 4, 5, 6).
+//
+// The pure state machines here are shared verbatim between the runtime
+// middleware (DataNetwork component) and the netsim experiment harness.
+package data

@@ -1,0 +1,67 @@
+package data_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+)
+
+// The pattern construction of §IV-B4: one third UDT yields the period-3
+// interleaving (ppu)* — exact over every full period.
+func ExampleBuildPattern() {
+	pattern := data.BuildPattern(data.MustRatio(1, 3))
+	for i := 0; i < pattern.Len(); i++ {
+		fmt.Print(pattern.At(i), " ")
+	}
+	fmt.Println("rest:", pattern.Rest())
+	// Output: TCP TCP UDT rest: 0
+}
+
+// Ratios convert freely between the paper's three representations.
+func ExampleRatio() {
+	r := data.MustRatio(4, 5) // 4 UDT messages out of every 5
+	fmt.Printf("fraction=%.1f balance=%+.1f\n", r.UDTFraction(), r.Balance())
+	p, q, udtMinority := r.MinorityShare()
+	fmt.Printf("pattern form: %d minority per %d majority (udt minority: %v)\n",
+		p, q, udtMinority)
+	// Output:
+	// fraction=0.8 balance=+0.6
+	// pattern form: 1 minority per 4 majority (udt minority: false)
+}
+
+// A TD ratio learner consumes per-episode statistics and prescribes the
+// next target mix; here the environment strongly favours TCP, so the
+// learner walks towards balance −1.
+func ExampleTDRatioLearner() {
+	learner, err := data.NewTDRatioLearner(data.LearnerConfig{
+		Estimator: data.ApproxEstimator,
+		Rand:      rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	ratio := learner.Initial()
+	for episode := 0; episode < 40; episode++ {
+		f := ratio.UDTFraction()
+		throughput := 10.0 // MB/s on pure UDT
+		if f < 1 {
+			tcpSide := 100 / (1 - f)
+			udtSide := 10 / f
+			if f == 0 {
+				throughput = 100
+			} else if tcpSide < udtSide {
+				throughput = tcpSide
+			} else {
+				throughput = udtSide
+			}
+		}
+		ratio = learner.Update(data.EpisodeStats{
+			Duration:  time.Second,
+			BytesSent: int64(throughput * (1 << 20)),
+		})
+	}
+	fmt.Printf("converged near balance %.0f\n", learner.Balance())
+	// Output: converged near balance -1
+}

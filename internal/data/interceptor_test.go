@@ -1,0 +1,323 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+type sentRecord struct {
+	proto core.Transport
+	item  *Item
+}
+
+func newTestInterceptor(t *testing.T, cfg InterceptorConfig) (*Interceptor, *clock.Virtual, *[]sentRecord) {
+	t.Helper()
+	clk := clock.NewVirtual()
+	var sent []sentRecord
+	if cfg.PSP == nil {
+		cfg.PSP = NewPatternSelection(Even)
+	}
+	if cfg.PRP == nil {
+		cfg.PRP = StaticRatio{R: Even}
+	}
+	cfg.Clock = clk
+	if cfg.Send == nil {
+		cfg.Send = func(p core.Transport, it *Item) {
+			sent = append(sent, sentRecord{proto: p, item: it})
+		}
+	}
+	ic, err := NewInterceptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic, clk, &sent
+}
+
+func TestInterceptorConfigValidation(t *testing.T) {
+	clk := clock.NewVirtual()
+	send := func(core.Transport, *Item) {}
+	base := InterceptorConfig{
+		PSP:   NewPatternSelection(Even),
+		PRP:   StaticRatio{R: Even},
+		Clock: clk,
+		Send:  send,
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*InterceptorConfig)
+	}{
+		{"nil PSP", func(c *InterceptorConfig) { c.PSP = nil }},
+		{"nil PRP", func(c *InterceptorConfig) { c.PRP = nil }},
+		{"nil Clock", func(c *InterceptorConfig) { c.Clock = nil }},
+		{"nil Send", func(c *InterceptorConfig) { c.Send = nil }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := NewInterceptor(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	if _, err := NewInterceptor(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestInterceptorReleasesUpToMaxOutstanding(t *testing.T) {
+	ic, _, sent := newTestInterceptor(t, InterceptorConfig{
+		PSP:            NewPatternSelection(PureTCP),
+		PRP:            StaticRatio{R: PureTCP},
+		MaxOutstanding: 2,
+	})
+	ic.Start()
+	for i := 0; i < 5; i++ {
+		ic.Enqueue(&Item{Size: 1000})
+	}
+	if len(*sent) != 2 {
+		t.Fatalf("released %d items, want 2 (MaxOutstanding)", len(*sent))
+	}
+	if ic.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d, want 3", ic.QueueLen())
+	}
+	if ic.Outstanding(core.TCP) != 2 {
+		t.Fatalf("Outstanding(TCP) = %d, want 2", ic.Outstanding(core.TCP))
+	}
+	ic.OnSent(core.TCP)
+	if len(*sent) != 3 {
+		t.Fatalf("after OnSent released %d, want 3", len(*sent))
+	}
+}
+
+func TestInterceptorPreservesPatternOrder(t *testing.T) {
+	// With a 1/3 UDT ratio the release sequence must repeat a period of
+	// exactly one UDT per three messages, even under backpressure.
+	ic, _, sent := newTestInterceptor(t, InterceptorConfig{
+		PSP:            NewPatternSelection(MustRatio(1, 3)),
+		PRP:            StaticRatio{R: MustRatio(1, 3)},
+		MaxOutstanding: 1,
+	})
+	ic.Start()
+	for i := 0; i < 9; i++ {
+		ic.Enqueue(&Item{Size: 100})
+	}
+	// Drain by acknowledging each released message exactly once, FIFO.
+	for acked := 0; len(*sent) < 9; acked++ {
+		if acked >= len(*sent) {
+			t.Fatalf("stalled: %d released, %d acked", len(*sent), acked)
+		}
+		ic.OnSent((*sent)[acked].proto)
+	}
+	udt := 0
+	for _, r := range *sent {
+		if r.proto == core.UDT {
+			udt++
+		}
+	}
+	if udt != 3 {
+		t.Fatalf("9 released messages contained %d UDT, want 3", udt)
+	}
+}
+
+func TestInterceptorHeadOfLineBlocksOnFullLane(t *testing.T) {
+	// Pure-UDT pattern with a saturated UDT lane must not leak messages
+	// onto TCP.
+	ic, _, sent := newTestInterceptor(t, InterceptorConfig{
+		PSP:            NewPatternSelection(PureUDT),
+		PRP:            StaticRatio{R: PureUDT},
+		MaxOutstanding: 1,
+	})
+	ic.Start()
+	ic.Enqueue(&Item{Size: 1})
+	ic.Enqueue(&Item{Size: 1})
+	if len(*sent) != 1 {
+		t.Fatalf("released %d, want 1", len(*sent))
+	}
+	if (*sent)[0].proto != core.UDT {
+		t.Fatalf("released on %v, want UDT", (*sent)[0].proto)
+	}
+	if ic.QueueLen() != 1 {
+		t.Fatal("second message should wait for the UDT lane")
+	}
+}
+
+func TestInterceptorEpisodeStatsAndCallback(t *testing.T) {
+	var episodes []EpisodeStats
+	var ratios []Ratio
+	ic, clk, _ := newTestInterceptor(t, InterceptorConfig{
+		PSP:           NewPatternSelection(Even),
+		PRP:           StaticRatio{R: Even},
+		EpisodeLength: time.Second,
+		OnEpisode: func(s EpisodeStats, next Ratio) {
+			episodes = append(episodes, s)
+			ratios = append(ratios, next)
+		},
+		MaxOutstanding: 100,
+	})
+	ic.Start()
+	for i := 0; i < 10; i++ {
+		ic.Enqueue(&Item{Size: 1000})
+	}
+	clk.Advance(time.Second)
+	if len(episodes) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(episodes))
+	}
+	st := episodes[0]
+	if st.BytesSent != 10000 || st.MsgsSent != 10 {
+		t.Fatalf("episode stats = %+v", st)
+	}
+	if st.Duration != time.Second {
+		t.Fatalf("episode duration = %v", st.Duration)
+	}
+	if !ratios[0].Equal(Even) {
+		t.Fatal("static PRP changed ratio")
+	}
+	if ic.Episodes() != 1 {
+		t.Fatalf("Episodes() = %d", ic.Episodes())
+	}
+
+	// Second episode starts fresh.
+	clk.Advance(time.Second)
+	if len(episodes) != 2 || episodes[1].BytesSent != 0 {
+		t.Fatalf("second episode not reset: %+v", episodes)
+	}
+}
+
+func TestInterceptorQueueDelayAveraged(t *testing.T) {
+	var got EpisodeStats
+	ic, clk, sent := newTestInterceptor(t, InterceptorConfig{
+		PSP:            NewPatternSelection(PureTCP),
+		PRP:            StaticRatio{R: PureTCP},
+		EpisodeLength:  10 * time.Second,
+		MaxOutstanding: 1,
+		OnEpisode:      func(s EpisodeStats, _ Ratio) { got = s },
+	})
+	ic.Start()
+	ic.Enqueue(&Item{Size: 1}) // released immediately, zero delay
+	ic.Enqueue(&Item{Size: 1}) // waits 2 s
+	clk.Advance(2 * time.Second)
+	ic.OnSent(core.TCP)
+	if len(*sent) != 2 {
+		t.Fatalf("released %d", len(*sent))
+	}
+	clk.Advance(8 * time.Second)
+	if got.AvgQueueDelay != time.Second {
+		t.Fatalf("AvgQueueDelay = %v, want 1s (mean of 0s and 2s)", got.AvgQueueDelay)
+	}
+}
+
+func TestInterceptorStartStopIdempotent(t *testing.T) {
+	ic, clk, _ := newTestInterceptor(t, InterceptorConfig{})
+	ic.Start()
+	ic.Start()
+	ic.Stop()
+	ic.Stop()
+	clk.Advance(5 * time.Second)
+	if ic.Episodes() != 0 {
+		t.Fatal("episodes ticked after Stop")
+	}
+}
+
+func TestInterceptorStopKeepsReleasing(t *testing.T) {
+	// Stop halts learning, not the data path.
+	ic, _, sent := newTestInterceptor(t, InterceptorConfig{
+		PSP: NewPatternSelection(PureTCP), PRP: StaticRatio{R: PureTCP},
+		MaxOutstanding: 1,
+	})
+	ic.Start()
+	ic.Enqueue(&Item{Size: 1})
+	ic.Enqueue(&Item{Size: 1})
+	ic.Stop()
+	ic.OnSent(core.TCP)
+	if len(*sent) != 2 {
+		t.Fatalf("release stopped with learning: %d", len(*sent))
+	}
+}
+
+func TestInterceptorAdoptsPRPInitialRatio(t *testing.T) {
+	ic, _, _ := newTestInterceptor(t, InterceptorConfig{
+		PSP: NewPatternSelection(Even),
+		PRP: StaticRatio{R: PureUDT},
+	})
+	if !ic.Ratio().Equal(PureUDT) {
+		t.Fatalf("interceptor ratio = %v, want PRP initial PureUDT", ic.Ratio())
+	}
+}
+
+func TestInterceptorOnSentUnknownProtoHarmless(t *testing.T) {
+	ic, _, _ := newTestInterceptor(t, InterceptorConfig{})
+	ic.OnSent(core.UDT) // no outstanding: must not underflow
+	if ic.Outstanding(core.UDT) != 0 {
+		t.Fatal("outstanding count underflowed")
+	}
+}
+
+func TestPropertyInterceptorPreservesRatioUnderRandomAcks(t *testing.T) {
+	// For any target ratio and any interleaving of acknowledgements, the
+	// interceptor's released sequence realises the PSP pattern exactly
+	// over full periods — head-of-line blocking never reorders or skews
+	// the selection sequence.
+	f := func(udt, total uint8, ackOrder []bool, maxOut uint8) bool {
+		tot := int(total)%12 + 2
+		u := int(udt) % (tot + 1)
+		target := MustRatio(u, tot)
+
+		clk := clock.NewVirtual()
+		var released []core.Transport
+		ic, err := NewInterceptor(InterceptorConfig{
+			PSP:            NewPatternSelection(target),
+			PRP:            StaticRatio{R: target},
+			Clock:          clk,
+			MaxOutstanding: int(maxOut)%4 + 1,
+			Send: func(p core.Transport, _ *Item) {
+				released = append(released, p)
+			},
+		})
+		if err != nil {
+			return false
+		}
+		ic.Start()
+
+		// Three full pattern periods' worth of messages.
+		period := BuildPattern(target).Len()
+		n := 3 * period
+		for i := 0; i < n; i++ {
+			ic.Enqueue(&Item{Size: 100})
+		}
+		// Drain with arbitrary ack ordering between the two lanes.
+		for i := 0; len(released) < n && i < 10*n; i++ {
+			proto := core.TCP
+			if len(ackOrder) > 0 && ackOrder[i%len(ackOrder)] {
+				proto = core.UDT
+			}
+			if ic.Outstanding(proto) == 0 {
+				// Ack whichever lane actually has traffic.
+				if ic.Outstanding(core.TCP) > 0 {
+					proto = core.TCP
+				} else {
+					proto = core.UDT
+				}
+			}
+			ic.OnSent(proto)
+		}
+		if len(released) != n {
+			return false
+		}
+		udtCount := 0
+		for _, p := range released {
+			if p == core.UDT {
+				udtCount++
+			}
+		}
+		want := int(float64(n)*target.UDTFraction() + 0.5)
+		return udtCount == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package data
+
+import "github.com/kompics/kompicsmessaging-go/internal/core"
+
+// Pattern is a deterministic interleaving of TCP and UDT selections that
+// realises a target ratio exactly over one full period while keeping every
+// prefix close to it (§IV-B3/4).
+type Pattern struct {
+	seq []core.Transport
+	// rest is the leftover-block length c of the chosen construction;
+	// exposed for the pattern-choice heuristic and diagnostics.
+	rest int
+}
+
+// BuildPattern constructs the better of the paper's two general patterns
+// for ratio r:
+//
+//	p-pattern:   (QᵇP)ᵖ Qᶜ   with b = ⌊q/p⌋,     c = q − p·b
+//	p+1-pattern: (QᵇP)ᵖ QᵇQᶜ with b = ⌊q/(p+1)⌋, c = q − (p+1)·b
+//
+// where P is the minority protocol occurring p times per q majority
+// messages. The pattern with the smaller rest c wins (ties favour the
+// p-pattern). Pure ratios yield a single-element pattern.
+func BuildPattern(r Ratio) Pattern {
+	p, q, udtMinority := r.MinorityShare()
+	minority, majority := core.TCP, core.UDT
+	if udtMinority {
+		minority, majority = core.UDT, core.TCP
+	}
+	if p == 0 {
+		return Pattern{seq: []core.Transport{majority}}
+	}
+
+	bP := q / p
+	cP := q - p*bP
+	bP1 := q / (p + 1)
+	cP1 := q - (p+1)*bP1
+
+	var seq []core.Transport
+	var rest int
+	if cP <= cP1 {
+		// (QᵇP)ᵖ Qᶜ
+		seq = make([]core.Transport, 0, p+q)
+		for i := 0; i < p; i++ {
+			seq = appendRun(seq, majority, bP)
+			seq = append(seq, minority)
+		}
+		seq = appendRun(seq, majority, cP)
+		rest = cP
+	} else {
+		// (QᵇP)ᵖ Qᵇ Qᶜ
+		seq = make([]core.Transport, 0, p+q)
+		for i := 0; i < p; i++ {
+			seq = appendRun(seq, majority, bP1)
+			seq = append(seq, minority)
+		}
+		seq = appendRun(seq, majority, bP1+cP1)
+		rest = cP1
+	}
+	return Pattern{seq: seq, rest: rest}
+}
+
+func appendRun(seq []core.Transport, t core.Transport, n int) []core.Transport {
+	for i := 0; i < n; i++ {
+		seq = append(seq, t)
+	}
+	return seq
+}
+
+// Len returns the pattern period.
+func (p Pattern) Len() int { return len(p.seq) }
+
+// Rest returns the leftover-block length c of the construction.
+func (p Pattern) Rest() int { return p.rest }
+
+// At returns the protocol at position i of the infinite repetition.
+func (p Pattern) At(i int) core.Transport {
+	return p.seq[i%len(p.seq)]
+}
+
+// Sequence returns a copy of one pattern period.
+func (p Pattern) Sequence() []core.Transport {
+	out := make([]core.Transport, len(p.seq))
+	copy(out, p.seq)
+	return out
+}

@@ -1,0 +1,169 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+func countUDT(seq []core.Transport) int {
+	n := 0
+	for _, t := range seq {
+		if t == core.UDT {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBuildPatternExamplesFromPaper(t *testing.T) {
+	tests := []struct {
+		name   string
+		r      Ratio
+		period int
+		udt    int
+	}{
+		// §IV-B3: r=1/2 → (up)*; r=1/3 → period-3 patterns with one u.
+		{"fifty-fifty", Even, 2, 1},
+		{"one third", MustRatio(1, 3), 3, 1},
+		{"two thirds", MustRatio(2, 3), 3, 2},
+		{"3 per 100", MustRatio(3, 100), 100, 3},
+		{"4 of 5", MustRatio(4, 5), 5, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := BuildPattern(tt.r)
+			if p.Len() != tt.period {
+				t.Fatalf("period = %d, want %d", p.Len(), tt.period)
+			}
+			if got := countUDT(p.Sequence()); got != tt.udt {
+				t.Fatalf("UDT count = %d, want %d", got, tt.udt)
+			}
+		})
+	}
+}
+
+func TestBuildPatternPure(t *testing.T) {
+	for _, r := range []Ratio{PureTCP, PureUDT} {
+		p := BuildPattern(r)
+		if p.Len() != 1 {
+			t.Fatalf("pure pattern period = %d, want 1", p.Len())
+		}
+		want := core.TCP
+		if r.Equal(PureUDT) {
+			want = core.UDT
+		}
+		if p.At(0) != want {
+			t.Fatalf("pure pattern emits %v, want %v", p.At(0), want)
+		}
+	}
+}
+
+func TestPatternAtWrapsAround(t *testing.T) {
+	p := BuildPattern(MustRatio(1, 3))
+	for i := 0; i < 3; i++ {
+		if p.At(i) != p.At(i+3) || p.At(i) != p.At(i+300) {
+			t.Fatal("At() does not repeat with the period")
+		}
+	}
+}
+
+// maxPrefixSkew returns the worst |observed−target| UDT-fraction deviation
+// over all prefixes of one pattern period.
+func maxPrefixSkew(p Pattern, target float64) float64 {
+	worst := 0.0
+	udt := 0
+	for i := 0; i < p.Len(); i++ {
+		if p.At(i) == core.UDT {
+			udt++
+		}
+		dev := math.Abs(float64(udt)/float64(i+1) - target)
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+func TestPropertyPatternExactOverFullPeriod(t *testing.T) {
+	// §IV-B3 requirement (b): a complete run of a pattern has no
+	// deviation from r.
+	f := func(u, d uint8) bool {
+		total := int(d)%200 + 1
+		udt := int(u) % (total + 1)
+		r := MustRatio(udt, total)
+		p := BuildPattern(r)
+		seq := p.Sequence()
+		return math.Abs(float64(countUDT(seq))/float64(len(seq))-r.UDTFraction()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPatternPrefixSkewBounded(t *testing.T) {
+	// §IV-B3 requirement (a): prefix deviation stays small — within one
+	// majority block of the target at any cut point.
+	f := func(u, d uint8) bool {
+		total := int(d)%100 + 2
+		udt := int(u) % (total + 1)
+		r := MustRatio(udt, total)
+		p, q, _ := r.MinorityShare()
+		pat := BuildPattern(r)
+		if p == 0 {
+			return maxPrefixSkew(pat, r.UDTFraction()) == 0
+		}
+		// After the first majority block of length b (plus rest), the
+		// running ratio must be within one block's worth of the target.
+		b := q/p + 1
+		bound := float64(b+1) / float64(b+2)
+		return maxPrefixSkew(pat, r.UDTFraction()) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternBeatsRandomOnWindowedSkew(t *testing.T) {
+	// The figure-1 headline: over short on-the-wire windows (16 messages)
+	// the pattern selector's worst-case deviation is far below the
+	// probabilistic selector's, for moderate ratios.
+	const window, n = 16, 160000
+	for _, target := range []Ratio{Even, MustRatio(1, 3), MustRatio(4, 5)} {
+		pat := NewPatternSelection(target)
+		rnd := NewRandomSelection(target, rand.New(rand.NewSource(42)))
+		worst := func(sel ProtocolSelectionPolicy) float64 {
+			buf := make([]core.Transport, 0, n)
+			for i := 0; i < n; i++ {
+				buf = append(buf, sel.Select())
+			}
+			w := 0.0
+			udt := 0
+			for i, tr := range buf {
+				if tr == core.UDT {
+					udt++
+				}
+				if i >= window {
+					if buf[i-window] == core.UDT {
+						udt--
+					}
+				}
+				if i >= window-1 {
+					dev := math.Abs(float64(udt)/window - target.UDTFraction())
+					if dev > w {
+						w = dev
+					}
+				}
+			}
+			return w
+		}
+		pw, rw := worst(pat), worst(rnd)
+		if pw >= rw {
+			t.Fatalf("target %v: pattern worst skew %.3f not below random %.3f",
+				target, pw, rw)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+// --- PSPs --------------------------------------------------------------------
+
+func TestRandomSelectionLongRunRatio(t *testing.T) {
+	target := MustRatio(4, 5)
+	s := NewRandomSelection(target, rand.New(rand.NewSource(1)))
+	udt := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Select() == core.UDT {
+			udt++
+		}
+	}
+	got := float64(udt) / n
+	if math.Abs(got-target.UDTFraction()) > 0.01 {
+		t.Fatalf("long-run UDT fraction = %.3f, want ≈%.3f", got, target.UDTFraction())
+	}
+	if !s.Ratio().Equal(target) {
+		t.Fatal("Ratio() does not return target")
+	}
+}
+
+func TestRandomSelectionPureRatios(t *testing.T) {
+	s := NewRandomSelection(PureTCP, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		if s.Select() != core.TCP {
+			t.Fatal("pure-TCP random selection emitted UDT")
+		}
+	}
+	s.SetRatio(PureUDT)
+	for i := 0; i < 100; i++ {
+		if s.Select() != core.UDT {
+			t.Fatal("pure-UDT random selection emitted TCP")
+		}
+	}
+}
+
+func TestNewRandomSelectionNilRandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil rng")
+		}
+	}()
+	NewRandomSelection(Even, nil)
+}
+
+func TestPatternSelectionExactPerPeriod(t *testing.T) {
+	target := MustRatio(3, 10)
+	s := NewPatternSelection(target)
+	udt := 0
+	for i := 0; i < 10; i++ {
+		if s.Select() == core.UDT {
+			udt++
+		}
+	}
+	if udt != 3 {
+		t.Fatalf("one period emitted %d UDT, want 3", udt)
+	}
+}
+
+func TestPatternSelectionKeepsPositionOnSameRatio(t *testing.T) {
+	s := NewPatternSelection(MustRatio(1, 3))
+	first := s.Select()
+	s.SetRatio(MustRatio(2, 6)) // same mix, different literal
+	second := s.Select()
+	third := s.Select()
+	period := []core.Transport{first, second, third}
+	if countUDT(period) != 1 {
+		t.Fatalf("position reset on equivalent ratio: period %v", period)
+	}
+}
+
+func TestPatternSelectionRestartsOnNewRatio(t *testing.T) {
+	s := NewPatternSelection(PureTCP)
+	for i := 0; i < 5; i++ {
+		s.Select()
+	}
+	s.SetRatio(PureUDT)
+	if s.Select() != core.UDT {
+		t.Fatal("pattern not rebuilt after ratio change")
+	}
+	if !s.Ratio().Equal(PureUDT) {
+		t.Fatal("Ratio() stale after SetRatio")
+	}
+}
+
+// --- PRPs --------------------------------------------------------------------
+
+func TestStaticRatio(t *testing.T) {
+	p := StaticRatio{R: Even}
+	if !p.Initial().Equal(Even) {
+		t.Fatal("Initial() mismatch")
+	}
+	if !p.Update(EpisodeStats{}).Equal(Even) {
+		t.Fatal("Update() changed a static ratio")
+	}
+}
+
+func TestEpisodeStatsThroughput(t *testing.T) {
+	s := EpisodeStats{Duration: 2 * time.Second, BytesSent: 4 << 20}
+	if got := s.Throughput(); got != 2<<20 {
+		t.Fatalf("Throughput = %v, want 2 MiB/s", got)
+	}
+	if (EpisodeStats{}).Throughput() != 0 {
+		t.Fatal("zero-duration throughput not 0")
+	}
+}
+
+func TestNewTDRatioLearnerRequiresRand(t *testing.T) {
+	if _, err := NewTDRatioLearner(LearnerConfig{}); err == nil {
+		t.Fatal("NewTDRatioLearner accepted nil Rand")
+	}
+}
+
+func TestNewTDRatioLearnerUnknownEstimator(t *testing.T) {
+	_, err := NewTDRatioLearner(LearnerConfig{
+		Estimator: EstimatorKind(99),
+		Rand:      rand.New(rand.NewSource(1)),
+	})
+	if err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+}
+
+func TestEstimatorKindString(t *testing.T) {
+	for _, k := range []EstimatorKind{MatrixEstimator, ModelEstimator, ApproxEstimator} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if EstimatorKind(42).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+// driveLearner feeds the learner a synthetic environment where throughput
+// decreases linearly with the UDT fraction (TCP is the strong protocol,
+// as in figures 4–6) and returns the balance trajectory.
+func driveLearner(t *testing.T, kind EstimatorKind, episodes int, seed int64) []float64 {
+	t.Helper()
+	l, err := NewTDRatioLearner(LearnerConfig{
+		Estimator: kind,
+		EpsMax:    0.3, EpsMin: 0.05, EpsDecay: 0.01,
+		Rand: rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The realistic DATA-stream shape: the interceptor's head-of-line
+	// blocking throttles the stream to the slower lane's pace, so with
+	// UDT fraction f, R = min(tcp/(1−f), udt/f); tcp = 100 MB/s,
+	// udt = 10 MB/s — the learner-figure environment.
+	throughput := func(balance float64) float64 {
+		f := (balance + 1) / 2
+		const tcp, udt = 100 * (1 << 20), 10 * (1 << 20)
+		switch {
+		case f == 0:
+			return tcp
+		case f == 1:
+			return udt
+		default:
+			return math.Min(tcp/(1-f), udt/f)
+		}
+	}
+	var trajectory []float64
+	r := l.Initial()
+	for i := 0; i < episodes; i++ {
+		stats := EpisodeStats{
+			Duration:  time.Second,
+			BytesSent: int64(throughput(r.Balance())),
+			MsgsSent:  1600,
+		}
+		r = l.Update(stats)
+		trajectory = append(trajectory, r.Balance())
+	}
+	return trajectory
+}
+
+func TestTDRatioLearnerConvergesToTCP(t *testing.T) {
+	traj := driveLearner(t, ApproxEstimator, 120, 3)
+	// Count tail time spent at or near pure TCP (balance ≤ −0.8).
+	near := 0
+	tail := traj[len(traj)-30:]
+	for _, b := range tail {
+		if b <= -0.6 {
+			near++
+		}
+	}
+	if near < 20 {
+		t.Fatalf("approx learner near pure TCP only %d/30 tail episodes; trajectory tail %v",
+			near, tail)
+	}
+}
+
+func TestTDRatioLearnerModelBackendConverges(t *testing.T) {
+	traj := driveLearner(t, ModelEstimator, 300, 3)
+	near := 0
+	tail := traj[len(traj)-50:]
+	for _, b := range tail {
+		if b <= -0.6 {
+			near++
+		}
+	}
+	if near < 30 {
+		t.Fatalf("model learner near pure TCP only %d/50 tail episodes", near)
+	}
+}
+
+func TestTDRatioLearnerStateAccessors(t *testing.T) {
+	l, err := NewTDRatioLearner(LearnerConfig{Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epsilon() <= 0 {
+		t.Fatal("epsilon not positive")
+	}
+	if got := l.Balance(); got != 0 {
+		t.Fatalf("initial balance = %v, want 0 (Even)", got)
+	}
+	if l.State() != 5 {
+		t.Fatalf("initial grid state = %d, want 5", l.State())
+	}
+}
+
+func TestTDRatioLearnerStaysOnGrid(t *testing.T) {
+	l, err := NewTDRatioLearner(LearnerConfig{
+		Estimator: MatrixEstimator,
+		Rand:      rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		r := l.Update(EpisodeStats{Duration: time.Second, BytesSent: 1 << 20})
+		b := r.Balance()
+		if b < -1 || b > 1 {
+			t.Fatalf("balance %v escaped [-1,1]", b)
+		}
+		// Must be a κ=1/5 grid point.
+		scaled := (b + 1) * 5
+		if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+			t.Fatalf("balance %v not on the κ=1/5 grid", b)
+		}
+	}
+}
+
+func TestTDRatioLearnerLatencyPenalty(t *testing.T) {
+	// Two ratios with equal throughput but very different queueing delay:
+	// with a latency weight the learner must prefer the low-delay one.
+	// Environment: UDT-heavy ratios deliver the same bytes but with
+	// seconds of interceptor queueing (slow lane); TCP-heavy ratios are
+	// prompt.
+	l, err := NewTDRatioLearner(LearnerConfig{
+		Estimator: ApproxEstimator,
+		EpsMax:    0.3, EpsMin: 0.05, EpsDecay: 0.01,
+		LatencyWeight: 50, // reward units per second of queue delay
+		Rand:          rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := l.Initial()
+	for i := 0; i < 150; i++ {
+		f := r.UDTFraction()
+		stats := EpisodeStats{
+			Duration:      time.Second,
+			BytesSent:     30 << 20, // flat throughput everywhere
+			MsgsSent:      480,
+			AvgQueueDelay: time.Duration(f * float64(2*time.Second)),
+		}
+		r = l.Update(stats)
+	}
+	if b := l.Balance(); b > -0.5 {
+		t.Fatalf("latency-weighted learner settled at balance %+.1f, want ≤ -0.5", b)
+	}
+}
+
+func TestTDRatioLearnerZeroLatencyWeightIgnoresDelay(t *testing.T) {
+	// Without a weight, the same environment gives a flat reward and the
+	// learner has no gradient to follow — it must not crash and must
+	// stay on the grid.
+	l, err := NewTDRatioLearner(LearnerConfig{
+		Estimator: ApproxEstimator,
+		Rand:      rand.New(rand.NewSource(12)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := l.Initial()
+	for i := 0; i < 50; i++ {
+		f := r.UDTFraction()
+		r = l.Update(EpisodeStats{
+			Duration:      time.Second,
+			BytesSent:     30 << 20,
+			AvgQueueDelay: time.Duration(f * float64(2*time.Second)),
+		})
+		if b := r.Balance(); b < -1 || b > 1 {
+			t.Fatalf("balance %v escaped the grid", b)
+		}
+	}
+}

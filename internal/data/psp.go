@@ -1,0 +1,101 @@
+package data
+
+import (
+	"math/rand"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+// ProtocolSelectionPolicy assigns a concrete wire protocol (TCP or UDT) to
+// each individual DATA message, tracking a target ratio prescribed by a
+// ProtocolRatioPolicy (§IV-B). Implementations are driven from a single
+// goroutine (the interceptor or the simulator).
+type ProtocolSelectionPolicy interface {
+	// SetRatio updates the target mix; takes effect from the next Select.
+	SetRatio(r Ratio)
+	// Ratio returns the current target mix.
+	Ratio() Ratio
+	// Select returns the protocol for the next message.
+	Select() core.Transport
+}
+
+// RandomSelection is the baseline Bernoulli policy: each message is UDT
+// with probability equal to the target's UDT fraction. Unbiased over long
+// runs (law of large numbers) but with substantial short-window skew —
+// the behaviour quantified in figure 1.
+type RandomSelection struct {
+	rng  *rand.Rand
+	r    Ratio
+	prob float64
+}
+
+var _ ProtocolSelectionPolicy = (*RandomSelection)(nil)
+
+// NewRandomSelection creates the policy with the given starting ratio.
+func NewRandomSelection(r Ratio, rng *rand.Rand) *RandomSelection {
+	if rng == nil {
+		panic("data: RandomSelection requires a random source")
+	}
+	s := &RandomSelection{rng: rng}
+	s.SetRatio(r)
+	return s
+}
+
+// SetRatio implements ProtocolSelectionPolicy.
+func (s *RandomSelection) SetRatio(r Ratio) {
+	s.r = r
+	s.prob = r.UDTFraction()
+}
+
+// Ratio implements ProtocolSelectionPolicy.
+func (s *RandomSelection) Ratio() Ratio { return s.r }
+
+// Select implements ProtocolSelectionPolicy.
+func (s *RandomSelection) Select() core.Transport {
+	if s.rng.Float64() < s.prob {
+		return core.UDT
+	}
+	return core.TCP
+}
+
+// PatternSelection emits the deterministic interleaving of BuildPattern,
+// restarting the pattern whenever the ratio changes. Every full period
+// matches the target exactly and prefixes deviate by at most one
+// majority block (§IV-B3).
+type PatternSelection struct {
+	r       Ratio
+	pattern Pattern
+	pos     int
+}
+
+var _ ProtocolSelectionPolicy = (*PatternSelection)(nil)
+
+// NewPatternSelection creates the policy with the given starting ratio.
+func NewPatternSelection(r Ratio) *PatternSelection {
+	s := &PatternSelection{}
+	s.SetRatio(r)
+	return s
+}
+
+// SetRatio implements ProtocolSelectionPolicy.
+func (s *PatternSelection) SetRatio(r Ratio) {
+	if s.pattern.Len() > 0 && s.r.Equal(r) {
+		return // keep position within an unchanged pattern
+	}
+	s.r = r
+	s.pattern = BuildPattern(r)
+	s.pos = 0
+}
+
+// Ratio implements ProtocolSelectionPolicy.
+func (s *PatternSelection) Ratio() Ratio { return s.r }
+
+// Select implements ProtocolSelectionPolicy.
+func (s *PatternSelection) Select() core.Transport {
+	t := s.pattern.At(s.pos)
+	s.pos++
+	if s.pos == s.pattern.Len() {
+		s.pos = 0
+	}
+	return t
+}

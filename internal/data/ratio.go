@@ -1,0 +1,127 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ratio is the target TCP/UDT mix, stored exactly as a reduced rational
+// u/d: u UDT messages out of every d. The paper uses three equivalent
+// representations, all available here:
+//
+//   - UDTFraction ∈ [0,1]: the probability of picking UDT;
+//   - Balance ∈ [−1,1]: −1 ≡ 100% TCP, 0 ≡ 50-50, +1 ≡ 100% UDT
+//     (the form used for analysis and in all figures);
+//   - the pattern form "p Ps for every q Qs" via MinorityShare.
+type Ratio struct {
+	udt, den int
+}
+
+// Canonical ratios.
+var (
+	// PureTCP sends everything over TCP (balance −1).
+	PureTCP = Ratio{udt: 0, den: 1}
+	// PureUDT sends everything over UDT (balance +1).
+	PureUDT = Ratio{udt: 1, den: 1}
+	// Even is the 50-50 mix (balance 0).
+	Even = Ratio{udt: 1, den: 2}
+)
+
+// NewRatio constructs the ratio "udt UDT messages out of every total".
+func NewRatio(udt, total int) (Ratio, error) {
+	if total <= 0 || udt < 0 || udt > total {
+		return Ratio{}, fmt.Errorf("data: invalid ratio %d/%d", udt, total)
+	}
+	g := gcd(udt, total)
+	return Ratio{udt: udt / g, den: total / g}, nil
+}
+
+// MustRatio is NewRatio that panics on error, for literals in wiring code.
+func MustRatio(udt, total int) Ratio {
+	r, err := NewRatio(udt, total)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RatioFromBalance quantises a balance value in [−1,1] onto the grid with
+// step κ = grid⁻¹ (the paper uses κ = 1/5, i.e. grid = 5, giving 11
+// states). Values outside [−1,1] are clamped.
+func RatioFromBalance(balance float64, grid int) Ratio {
+	if grid <= 0 {
+		grid = 5
+	}
+	if balance < -1 {
+		balance = -1
+	}
+	if balance > 1 {
+		balance = 1
+	}
+	// balance b → UDT fraction (b+1)/2, on a grid of 2·grid+1 states.
+	steps := int(math.Round((balance + 1) / 2 * float64(2*grid)))
+	r, err := NewRatio(steps, 2*grid)
+	if err != nil {
+		panic(err) // unreachable: steps ∈ [0, 2·grid]
+	}
+	return r
+}
+
+// UDTCount returns the UDT message count of the reduced rational.
+func (r Ratio) UDTCount() int { return r.udt }
+
+// Total returns the denominator of the reduced rational.
+func (r Ratio) Total() int { return r.den }
+
+// UDTFraction returns the ratio as the probability of selecting UDT.
+func (r Ratio) UDTFraction() float64 {
+	if r.den == 0 { // zero value behaves as pure TCP
+		return 0
+	}
+	return float64(r.udt) / float64(r.den)
+}
+
+// Balance returns the ratio in the figures' [−1,1] form.
+func (r Ratio) Balance() float64 { return 2*r.UDTFraction() - 1 }
+
+// MinorityShare expresses the ratio in the paper's pattern form: p
+// messages of the minority protocol for every q of the majority, with
+// udtMinority reporting which protocol is the minority P. For the exact
+// 50-50 mix, UDT is reported as minority with p = q = 1.
+func (r Ratio) MinorityShare() (p, q int, udtMinority bool) {
+	u, d := r.udt, r.den
+	if d == 0 {
+		return 0, 1, true
+	}
+	tcp := d - u
+	if u <= tcp {
+		return u, tcp, true
+	}
+	return tcp, u, false
+}
+
+// IsPure reports whether the ratio selects a single protocol.
+func (r Ratio) IsPure() bool {
+	return r.den == 0 || r.udt == 0 || r.udt == r.den
+}
+
+// Equal reports whether two ratios denote the same mix.
+func (r Ratio) Equal(o Ratio) bool {
+	return r.UDTFraction() == o.UDTFraction()
+}
+
+// String implements fmt.Stringer, in the balance form used by the paper's
+// figures.
+func (r Ratio) String() string {
+	return fmt.Sprintf("%.2f[%d/%d]", r.Balance(), r.udt, r.den)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

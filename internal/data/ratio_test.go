@@ -1,0 +1,152 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRatioReduces(t *testing.T) {
+	r := MustRatio(50, 100)
+	if r.UDTCount() != 1 || r.Total() != 2 {
+		t.Fatalf("50/100 reduced to %d/%d, want 1/2", r.UDTCount(), r.Total())
+	}
+}
+
+func TestNewRatioErrors(t *testing.T) {
+	tests := []struct{ udt, total int }{
+		{-1, 10}, {11, 10}, {0, 0}, {1, -5},
+	}
+	for _, tt := range tests {
+		if _, err := NewRatio(tt.udt, tt.total); err == nil {
+			t.Errorf("NewRatio(%d,%d) succeeded, want error", tt.udt, tt.total)
+		}
+	}
+}
+
+func TestMustRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRatio(-1,1) did not panic")
+		}
+	}()
+	MustRatio(-1, 1)
+}
+
+func TestRatioRepresentations(t *testing.T) {
+	tests := []struct {
+		name     string
+		r        Ratio
+		fraction float64
+		balance  float64
+	}{
+		{"pure TCP", PureTCP, 0, -1},
+		{"pure UDT", PureUDT, 1, 1},
+		{"even", Even, 0.5, 0},
+		{"one third", MustRatio(1, 3), 1.0 / 3, -1.0 / 3},
+		{"4/5", MustRatio(4, 5), 0.8, 0.6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.r.UDTFraction(); math.Abs(got-tt.fraction) > 1e-12 {
+				t.Fatalf("UDTFraction = %v, want %v", got, tt.fraction)
+			}
+			if got := tt.r.Balance(); math.Abs(got-tt.balance) > 1e-12 {
+				t.Fatalf("Balance = %v, want %v", got, tt.balance)
+			}
+		})
+	}
+}
+
+func TestRatioMinorityShare(t *testing.T) {
+	tests := []struct {
+		name        string
+		r           Ratio
+		p, q        int
+		udtMinority bool
+	}{
+		{"pure TCP", PureTCP, 0, 1, true},
+		{"pure UDT", PureUDT, 0, 1, false},
+		{"even", Even, 1, 1, true},
+		{"1 UDT in 3", MustRatio(1, 3), 1, 2, true},
+		{"2 UDT in 3", MustRatio(2, 3), 1, 2, false},
+		{"3 UDT in 100", MustRatio(3, 100), 3, 97, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, q, udt := tt.r.MinorityShare()
+			if p != tt.p || q != tt.q || udt != tt.udtMinority {
+				t.Fatalf("MinorityShare() = (%d,%d,%v), want (%d,%d,%v)",
+					p, q, udt, tt.p, tt.q, tt.udtMinority)
+			}
+		})
+	}
+}
+
+func TestRatioFromBalanceGrid(t *testing.T) {
+	tests := []struct {
+		balance float64
+		want    float64 // expected quantised balance on κ=1/5 grid
+	}{
+		{-1, -1}, {1, 1}, {0, 0},
+		{-0.95, -1}, {0.55, 0.6}, {0.29, 0.2},
+		{-2, -1}, {2, 1}, // clamped
+	}
+	for _, tt := range tests {
+		r := RatioFromBalance(tt.balance, 5)
+		if math.Abs(r.Balance()-tt.want) > 1e-12 {
+			t.Errorf("RatioFromBalance(%v) balance = %v, want %v", tt.balance, r.Balance(), tt.want)
+		}
+	}
+}
+
+func TestRatioFromBalanceDefaultGrid(t *testing.T) {
+	r := RatioFromBalance(0.1, 0)
+	if math.Abs(r.Balance()-0.2) > 1e-12 && math.Abs(r.Balance()-0.0) > 1e-12 {
+		t.Fatalf("default-grid quantisation of 0.1 = %v, want 0 or 0.2", r.Balance())
+	}
+}
+
+func TestRatioIsPure(t *testing.T) {
+	if !PureTCP.IsPure() || !PureUDT.IsPure() {
+		t.Fatal("pure ratios report IsPure() = false")
+	}
+	if Even.IsPure() {
+		t.Fatal("even mix reports IsPure() = true")
+	}
+	var zero Ratio
+	if !zero.IsPure() {
+		t.Fatal("zero ratio should behave as pure TCP")
+	}
+	if zero.UDTFraction() != 0 {
+		t.Fatal("zero ratio fraction nonzero")
+	}
+}
+
+func TestRatioEqualAndString(t *testing.T) {
+	if !MustRatio(2, 4).Equal(Even) {
+		t.Fatal("2/4 != 1/2")
+	}
+	if MustRatio(1, 3).Equal(Even) {
+		t.Fatal("1/3 == 1/2")
+	}
+	if Even.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPropertyRatioGridRoundTrip(t *testing.T) {
+	// Quantising any grid point returns exactly that point.
+	f := func(step uint8) bool {
+		s := int(step) % 11
+		want, err := NewRatio(s, 10)
+		if err != nil {
+			return false
+		}
+		got := RatioFromBalance(want.Balance(), 5)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package data_test
+
+// Integration across contribution packages: vnet messages (virtual-node
+// addressing) carried by the DATA meta-protocol through a DataNetwork —
+// the combination the paper's conclusion advertises ("virtual node
+// architectures ... built on top with minimal overhead" plus adaptive
+// transport selection).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/vnet"
+)
+
+// wireSink stands in for the core network: it records what would hit the
+// wire and acks every notify.
+type wireSink struct {
+	port *kompics.Port
+
+	mu   sync.Mutex
+	sent []core.Msg
+}
+
+func (f *wireSink) Init(ctx *kompics.Context) {
+	f.port = ctx.Provides(core.NetworkPort)
+	ctx.Subscribe(f.port, (*core.Msg)(nil), func(e kompics.Event) {
+		f.record(e.(core.Msg))
+	})
+	ctx.Subscribe(f.port, core.NotifyReq{}, func(e kompics.Event) {
+		req := e.(core.NotifyReq)
+		f.record(req.Msg)
+		ctx.Trigger(core.NotifyResp{ID: req.ID}, f.port)
+	})
+}
+
+func (f *wireSink) record(m core.Msg) {
+	f.mu.Lock()
+	f.sent = append(f.sent, m)
+	f.mu.Unlock()
+}
+
+func (f *wireSink) snapshot() []core.Msg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]core.Msg, len(f.sent))
+	copy(out, f.sent)
+	return out
+}
+
+// vnodeSender publishes vnet messages on its required network port.
+type vnodeSender struct {
+	port *kompics.Port
+	comp *kompics.Component
+}
+
+type push struct{ e kompics.Event }
+
+func (s *vnodeSender) Init(ctx *kompics.Context) {
+	s.comp = ctx.Component()
+	s.port = ctx.Requires(core.NetworkPort)
+	ctx.SubscribeSelf(push{}, func(e kompics.Event) {
+		ctx.Trigger(e.(push).e, s.port)
+	})
+}
+
+func TestVNetMessagesThroughDataNetwork(t *testing.T) {
+	sys := kompics.NewSystem()
+	defer sys.Shutdown()
+
+	dn, err := data.NewDataNetwork(data.NetworkConfig{
+		NewPSP: func() data.ProtocolSelectionPolicy {
+			return data.NewPatternSelection(data.MustRatio(1, 2))
+		},
+		NewPRP: func() data.ProtocolRatioPolicy {
+			return data.StaticRatio{R: data.MustRatio(1, 2)}
+		},
+		MaxOutstanding: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnComp := sys.Create(dn)
+	sink := &wireSink{}
+	sinkComp := sys.Create(sink)
+	sender := &vnodeSender{}
+	senderComp := sys.Create(sender)
+	kompics.MustConnect(sink.port, dn.Required())
+	kompics.MustConnect(dn.Provided(), sender.port)
+	sys.Start(dnComp)
+	sys.Start(sinkComp)
+	sys.Start(senderComp)
+
+	src := vnet.NewAddress(core.MustParseAddress("10.0.0.1:100"), []byte("a"))
+	dst := vnet.NewAddress(core.MustParseAddress("10.0.0.2:100"), []byte("b"))
+	const n = 10
+	for i := 0; i < n; i++ {
+		sender.comp.SelfTrigger(push{e: &vnet.Msg{
+			Src: src, Dst: dst, Proto: core.DATA, Payload: []byte{byte(i)},
+		}})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(sink.snapshot()) < n {
+		time.Sleep(time.Millisecond)
+	}
+	sent := sink.snapshot()
+	if len(sent) != n {
+		t.Fatalf("wire saw %d messages, want %d", len(sent), n)
+	}
+	tcp, udt := 0, 0
+	for _, m := range sent {
+		vm, ok := m.(*vnet.Msg)
+		if !ok {
+			t.Fatalf("wire message is %T, want *vnet.Msg", m)
+		}
+		switch vm.Proto {
+		case core.TCP:
+			tcp++
+		case core.UDT:
+			udt++
+		default:
+			t.Fatalf("wire message still carries %v", vm.Proto)
+		}
+		// Virtual-node identity must survive protocol substitution.
+		ident, ok := vm.Header().Destination().(vnet.Identified)
+		if !ok || string(ident.VNodeID()) != "b" {
+			t.Fatal("vnode identity lost through the interceptor")
+		}
+	}
+	if tcp != n/2 || udt != n/2 {
+		t.Fatalf("protocol split %d/%d, want %d/%d", tcp, udt, n/2, n/2)
+	}
+}

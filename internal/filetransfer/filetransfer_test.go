@@ -1,0 +1,252 @@
+package filetransfer
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+func TestChunks(t *testing.T) {
+	tests := []struct {
+		name      string
+		total     int64
+		chunkSize int
+		want      int
+		lastSize  int
+	}{
+		{"exact", 100, 10, 10, 10},
+		{"remainder", 105, 10, 11, 5},
+		{"single", 5, 10, 1, 5},
+		{"zero", 0, 10, 0, 0},
+		{"bad chunk", 10, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cs := Chunks(tt.total, tt.chunkSize)
+			if len(cs) != tt.want {
+				t.Fatalf("len = %d, want %d", len(cs), tt.want)
+			}
+			if tt.want == 0 {
+				return
+			}
+			if cs[len(cs)-1].Size != tt.lastSize {
+				t.Fatalf("last size = %d, want %d", cs[len(cs)-1].Size, tt.lastSize)
+			}
+			var sum int64
+			for i, c := range cs {
+				if c.Index != i {
+					t.Fatalf("chunk %d has index %d", i, c.Index)
+				}
+				if c.Offset != int64(i)*int64(tt.chunkSize) {
+					t.Fatalf("chunk %d offset %d", i, c.Offset)
+				}
+				sum += int64(c.Size)
+			}
+			if sum != tt.total {
+				t.Fatalf("chunk sizes sum to %d, want %d", sum, tt.total)
+			}
+		})
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(Chunks(50, 10), 2)
+	c1, ok := w.Next()
+	if !ok || c1.Index != 0 {
+		t.Fatal("first chunk wrong")
+	}
+	if _, ok := w.Next(); !ok {
+		t.Fatal("second chunk refused")
+	}
+	if _, ok := w.Next(); ok {
+		t.Fatal("window overfilled")
+	}
+	if w.Outstanding() != 2 || w.Remaining() != 3 {
+		t.Fatalf("outstanding=%d remaining=%d", w.Outstanding(), w.Remaining())
+	}
+	w.Ack()
+	if _, ok := w.Next(); !ok {
+		t.Fatal("window did not reopen after ack")
+	}
+	for !w.Done() {
+		w.Ack()
+		w.Next()
+	}
+	if !w.Done() {
+		t.Fatal("window never completed")
+	}
+}
+
+func TestWindowZeroMax(t *testing.T) {
+	w := NewWindow(Chunks(10, 10), 0)
+	if _, ok := w.Next(); !ok {
+		t.Fatal("zero max must clamp to 1")
+	}
+}
+
+func TestDatasetDeterministicAndSeedSensitive(t *testing.T) {
+	d1, err := NewDataset(42, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewDataset(42, 4096)
+	d3, _ := NewDataset(43, 4096)
+
+	b1 := make([]byte, 4096)
+	b2 := make([]byte, 4096)
+	b3 := make([]byte, 4096)
+	if _, err := d1.ReadAt(b1, 0); err != nil {
+		t.Fatal(err)
+	}
+	d2.ReadAt(b2, 0)
+	d3.ReadAt(b3, 0)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different data")
+	}
+	if bytes.Equal(b1, b3) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDatasetOffsetsConsistent(t *testing.T) {
+	d, _ := NewDataset(7, 1<<20)
+	full := make([]byte, 1000)
+	d.ReadAt(full, 500)
+	part := make([]byte, 100)
+	d.ReadAt(part, 700)
+	if !bytes.Equal(part, full[200:300]) {
+		t.Fatal("overlapping reads disagree")
+	}
+}
+
+func TestDatasetBoundaries(t *testing.T) {
+	d, _ := NewDataset(1, 100)
+	buf := make([]byte, 50)
+	n, err := d.ReadAt(buf, 80)
+	if n != 20 || err != io.EOF {
+		t.Fatalf("tail read = %d, %v", n, err)
+	}
+	if _, err := d.ReadAt(buf, 100); err != io.EOF {
+		t.Fatal("read past end must return EOF")
+	}
+	if _, err := d.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := NewDataset(1, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if d.Size() != 100 {
+		t.Fatal("Size() wrong")
+	}
+}
+
+func TestDatasetIncompressible(t *testing.T) {
+	// The stand-in must share the NetCDF file's key property: DEFLATE
+	// should not shrink it meaningfully.
+	d, _ := NewDataset(99, 256<<10)
+	buf := make([]byte, d.Size())
+	d.ReadAt(buf, 0)
+	var packed bytes.Buffer
+	fw, _ := flate.NewWriter(&packed, flate.BestCompression)
+	fw.Write(buf)
+	fw.Close()
+	if float64(packed.Len()) < 0.99*float64(len(buf)) {
+		t.Fatalf("dataset compressed to %.1f%%; not incompressible",
+			100*float64(packed.Len())/float64(len(buf)))
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(100)
+	tr.Add(0, 60)
+	if tr.Complete() {
+		t.Fatal("complete too early")
+	}
+	tr.Add(0, 60) // duplicate ignored
+	if tr.Received() != 60 {
+		t.Fatalf("duplicate counted: %d", tr.Received())
+	}
+	tr.Add(1, 40)
+	if !tr.Complete() || tr.Received() != 100 {
+		t.Fatalf("not complete: %d", tr.Received())
+	}
+}
+
+func TestChunkMsgSerialization(t *testing.T) {
+	reg := core.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	in := &ChunkMsg{
+		Src:   core.MustParseAddress("10.0.0.1:1"),
+		Dst:   core.MustParseAddress("10.0.0.2:2"),
+		Proto: core.UDT, TransferID: 3, Index: 4, Total: 5,
+		TotalBytes: 395 << 20,
+		Body:       bytes.Repeat([]byte{7}, 1000),
+	}
+	var buf bytes.Buffer
+	if err := reg.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.(*ChunkMsg)
+	if out.TransferID != 3 || out.Index != 4 || out.Total != 5 ||
+		out.TotalBytes != 395<<20 || !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestChunkMsgProtocolReplacement(t *testing.T) {
+	m := &ChunkMsg{Proto: core.DATA, Body: []byte{1}}
+	m2 := m.WithWireProtocol(core.TCP)
+	if m.Proto != core.DATA {
+		t.Fatal("original mutated")
+	}
+	if m2.Header().Protocol() != core.TCP {
+		t.Fatal("protocol not replaced")
+	}
+	if m.Size() != 1 {
+		t.Fatal("Size wrong")
+	}
+}
+
+func TestNewSenderValidation(t *testing.T) {
+	if _, err := NewSender(SenderConfig{Proto: core.TCP}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	d, _ := NewDataset(1, 10)
+	if _, err := NewSender(SenderConfig{Data: d}); err == nil {
+		t.Fatal("invalid protocol accepted")
+	}
+}
+
+func TestPropertyWindowConservation(t *testing.T) {
+	// Regardless of interleaving, every chunk is handed out exactly once
+	// and Done holds exactly when all are acked.
+	f := func(totalKB uint8, max uint8) bool {
+		total := int64(totalKB)*1024 + 1
+		w := NewWindow(Chunks(total, 1024), int(max%16)+1)
+		handed := 0
+		for !w.Done() {
+			if _, ok := w.Next(); ok {
+				handed++
+				continue
+			}
+			if w.Outstanding() == 0 {
+				return false // stuck
+			}
+			w.Ack()
+		}
+		return handed == len(Chunks(total, 1024))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

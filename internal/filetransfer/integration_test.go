@@ -1,0 +1,187 @@
+package filetransfer
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/data"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+func freeTestPort(t *testing.T) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for i := 0; i < 200; i++ {
+		p := 20000 + 2*rng.Intn(20000)
+		ok := true
+		for _, d := range []int{0, 1} {
+			if l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", p+d)); err == nil {
+				l.Close()
+			} else {
+				ok = false
+				break
+			}
+			if l, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", p+d)); err == nil {
+				l.Close()
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	t.Fatal("no free port")
+	return 0
+}
+
+// completionWatcher records Complete indications.
+type completionWatcher struct {
+	port *kompics.Port
+	done chan Complete
+}
+
+func (w *completionWatcher) Init(ctx *kompics.Context) {
+	w.port = ctx.Requires(TransferPort)
+	ctx.Subscribe(w.port, Complete{}, func(e kompics.Event) {
+		select {
+		case w.done <- e.(Complete):
+		default:
+		}
+	})
+}
+
+// starter kicks off the transfer from component context.
+type starter struct {
+	port *kompics.Port
+	comp *kompics.Component
+}
+
+type kick struct{ id uint32 }
+
+func (s *starter) Init(ctx *kompics.Context) {
+	s.comp = ctx.Component()
+	s.port = ctx.Requires(TransferPort)
+	ctx.SubscribeSelf(kick{}, func(e kompics.Event) {
+		ctx.Trigger(StartTransfer{TransferID: e.(kick).id}, s.port)
+	})
+}
+
+// runTransfer moves size bytes over the real middleware on loopback using
+// proto, optionally through a DataNetwork, and returns the receiver-side
+// completion.
+func runTransfer(t *testing.T, proto core.Transport, size int64, withDataNet bool) Complete {
+	t.Helper()
+	portA := freeTestPort(t)
+	portB := freeTestPort(t)
+	selfA := core.MustParseAddress(fmt.Sprintf("127.0.0.1:%d", portA))
+	selfB := core.MustParseAddress(fmt.Sprintf("127.0.0.1:%d", portB))
+
+	mkReg := func() *core.Network {
+		return nil
+	}
+	_ = mkReg
+
+	newNode := func(self core.BasicAddress) (*kompics.System, *core.Network) {
+		reg := core.NewRegistry()
+		if err := Register(reg); err != nil {
+			t.Fatal(err)
+		}
+		netDef, err := core.NewNetwork(core.NetworkConfig{Self: self, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := kompics.NewSystem()
+		t.Cleanup(sys.Shutdown)
+		comp := sys.Create(netDef)
+		sys.Start(comp)
+		return sys, netDef
+	}
+
+	sysA, netA := newNode(selfA)
+	sysB, netB := newNode(selfB)
+
+	dataset, err := NewDataset(11, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderDef, err := NewSender(SenderConfig{
+		Self: selfA, Dest: selfB, Proto: proto,
+		Data: dataset, ChunkSize: 16 << 10, WindowSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderComp := sysA.Create(senderDef)
+
+	// Optionally interpose a DataNetwork on the sender side.
+	if withDataNet {
+		dn, err := data.NewDataNetwork(data.NetworkConfig{
+			NewPRP: func() data.ProtocolRatioPolicy { return data.StaticRatio{R: data.Even} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dnComp := sysA.Create(dn)
+		kompics.MustConnect(netA.Port(), dn.Required())
+		kompics.MustConnect(dn.Provided(), senderDef.NetPort())
+		sysA.Start(dnComp)
+	} else {
+		kompics.MustConnect(netA.Port(), senderDef.NetPort())
+	}
+
+	recvDef := NewReceiver()
+	recvComp := sysB.Create(recvDef)
+	kompics.MustConnect(netB.Port(), recvDef.NetPort())
+
+	watch := &completionWatcher{done: make(chan Complete, 1)}
+	watchComp := sysB.Create(watch)
+	kompics.MustConnect(recvDef.Port(), watch.port)
+
+	st := &starter{}
+	stComp := sysA.Create(st)
+	kompics.MustConnect(senderDef.Port(), st.port)
+
+	sysA.Start(senderComp)
+	sysB.Start(recvComp)
+	sysB.Start(watchComp)
+	sysA.Start(stComp)
+
+	st.comp.SelfTrigger(kick{id: 1})
+
+	select {
+	case c := <-watch.done:
+		return c
+	case <-time.After(60 * time.Second):
+		t.Fatalf("transfer over %v did not complete", proto)
+		return Complete{}
+	}
+}
+
+func TestTransferOverTCP(t *testing.T) {
+	c := runTransfer(t, core.TCP, 2<<20, false)
+	if c.Bytes != 2<<20 {
+		t.Fatalf("received %d bytes", c.Bytes)
+	}
+}
+
+func TestTransferOverUDT(t *testing.T) {
+	c := runTransfer(t, core.UDT, 1<<20, false)
+	if c.Bytes != 1<<20 {
+		t.Fatalf("received %d bytes", c.Bytes)
+	}
+}
+
+func TestTransferOverDATA(t *testing.T) {
+	// The DATA pseudo-protocol routes through the interceptor, which
+	// splits chunks between real TCP and UDT connections.
+	c := runTransfer(t, core.DATA, 1<<20, true)
+	if c.Bytes != 1<<20 {
+		t.Fatalf("received %d bytes", c.Bytes)
+	}
+}

@@ -1,0 +1,98 @@
+package kompics
+
+import "fmt"
+
+// ChannelSelector filters which events cross a channel towards a given
+// endpoint. Returning false drops the event for that endpoint only (the
+// silent drop is correct Kompics behaviour).
+type ChannelSelector func(Event) bool
+
+// Channel connects the provided side of a port to a required side of the
+// same PortType. Indications travel provider→requirer; requests travel
+// requirer→provider. Delivery is FIFO and exactly-once per receiver.
+type Channel struct {
+	provided *Port
+	required *Port
+
+	// selectors filter events per travel direction; nil means pass-all.
+	toRequired ChannelSelector // filters indications
+	toProvided ChannelSelector // filters requests
+
+	disconnected bool
+}
+
+// ChannelOption configures a channel at Connect time.
+type ChannelOption func(*Channel)
+
+// WithIndicationSelector filters indications travelling provider→requirer.
+func WithIndicationSelector(s ChannelSelector) ChannelOption {
+	return func(c *Channel) { c.toRequired = s }
+}
+
+// WithRequestSelector filters requests travelling requirer→provider.
+func WithRequestSelector(s ChannelSelector) ChannelOption {
+	return func(c *Channel) { c.toProvided = s }
+}
+
+// Connect wires a provided port to a required port. Both ports must share
+// the same PortType and be on opposite sides.
+func Connect(provided, required *Port, opts ...ChannelOption) (*Channel, error) {
+	if provided == nil || required == nil {
+		return nil, fmt.Errorf("kompics: Connect requires non-nil ports")
+	}
+	if provided.ptype != required.ptype {
+		return nil, fmt.Errorf("kompics: port type mismatch: %q vs %q",
+			provided.ptype.name, required.ptype.name)
+	}
+	if !provided.provided {
+		return nil, fmt.Errorf("kompics: first argument to Connect must be a provided port")
+	}
+	if required.provided {
+		return nil, fmt.Errorf("kompics: second argument to Connect must be a required port")
+	}
+	c := &Channel{provided: provided, required: required}
+	for _, opt := range opts {
+		opt(c)
+	}
+	provided.addChannel(c)
+	required.addChannel(c)
+	return c, nil
+}
+
+// MustConnect is Connect that panics on error; convenient in wiring code
+// where a failure is a programming bug.
+func MustConnect(provided, required *Port, opts ...ChannelOption) *Channel {
+	c, err := Connect(provided, required, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Disconnect detaches the channel from both ports. In-flight events that
+// were already enqueued at the destination are still handled.
+func (c *Channel) Disconnect() {
+	if c.disconnected {
+		return
+	}
+	c.disconnected = true
+	c.provided.removeChannel(c)
+	c.required.removeChannel(c)
+}
+
+// forward routes an event published at endpoint from to the opposite
+// endpoint, applying the direction's selector.
+func (c *Channel) forward(from *Port, e Event) {
+	switch from {
+	case c.provided:
+		if c.toRequired != nil && !c.toRequired(e) {
+			return
+		}
+		c.required.deliver(e)
+	case c.required:
+		if c.toProvided != nil && !c.toProvided(e) {
+			return
+		}
+		c.provided.deliver(e)
+	}
+}

@@ -1,0 +1,23 @@
+// Package kompics is a Go implementation of the Kompics component model
+// (Arad, Dowling, Haridi — Middleware 2012): protocols are programmed as
+// event-driven components that declare typed ports and are connected by
+// channels.
+//
+// Semantics implemented here, following §II-A of the ICDCS'17 paper:
+//
+//   - Ports are typed by a PortType, which declares which event types travel
+//     in which direction (indications flow from the providing component,
+//     requests flow towards it).
+//   - Channels connect a provided port to a required port of the same
+//     PortType and deliver events FIFO, exactly once per receiver. Events
+//     are published on all connected channels (broadcast), optionally
+//     filtered by channel selectors; components ignore events they have no
+//     handler for (silent drop is correct in Kompics).
+//   - A component is scheduled on at most one worker at a time and thus has
+//     exclusive access to its state. When scheduled it handles up to
+//     MaxEvents queued events before being re-queued, trading throughput
+//     (cache reuse) against fairness.
+//
+// Components are defined by implementing Definition; the runtime calls
+// Init once with a Context used to declare ports and subscribe handlers.
+package kompics

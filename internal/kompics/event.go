@@ -1,0 +1,60 @@
+package kompics
+
+import "fmt"
+
+// Event is the marker interface for everything that travels on channels.
+// Any value can be an event; typed ports restrict which events a channel
+// carries.
+type Event interface{}
+
+// Direction distinguishes the two ways events flow across a port.
+type Direction int
+
+// Port directions. An indication flows out of the component providing the
+// port; a request flows into it.
+const (
+	Indication Direction = iota + 1
+	Request
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Indication:
+		return "indication"
+	case Request:
+		return "request"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Lifecycle events, delivered on every component's control port.
+type (
+	// Start requests that a component begin operating.
+	Start struct{}
+	// Started indicates that a component has processed Start.
+	Started struct{ ID ComponentID }
+	// Stop requests that a component cease operating.
+	Stop struct{}
+	// Stopped indicates that a component has processed Stop.
+	Stopped struct{ ID ComponentID }
+	// Kill requests permanent removal of a component.
+	Kill struct{}
+)
+
+// Fault is published on the control port when a handler panics. The
+// component is halted after a fault.
+type Fault struct {
+	// ID identifies the faulty component.
+	ID ComponentID
+	// Err carries the recovered panic value.
+	Err error
+	// Event is the event whose handler panicked.
+	Event Event
+}
+
+// Error implements the error interface so faults can be wrapped.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("kompics: component %d faulted handling %T: %v", f.ID, f.Event, f.Err)
+}

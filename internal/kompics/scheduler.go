@@ -1,0 +1,98 @@
+package kompics
+
+import "sync"
+
+// scheduler runs components on a fixed pool of workers. Components that
+// have queued events wait in a FIFO run queue; a component is in the queue
+// at most once (the scheduled flag in Component guards admission), which
+// gives the one-thread-at-a-time execution guarantee.
+type scheduler struct {
+	maxEvents int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Component
+	closed bool
+
+	// busy counts components currently executing on a worker; together
+	// with an empty queue it defines quiescence.
+	busy    int
+	idleCnd *sync.Cond
+
+	wg sync.WaitGroup
+}
+
+func newScheduler(workers, maxEvents int) *scheduler {
+	s := &scheduler{maxEvents: maxEvents}
+	s.cond = sync.NewCond(&s.mu)
+	s.idleCnd = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ready places a component at the tail of the run queue.
+func (s *scheduler) ready(c *Component) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, c)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		c := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy++
+		s.mu.Unlock()
+
+		again := c.execute(s.maxEvents)
+
+		s.mu.Lock()
+		s.busy--
+		if again && !s.closed {
+			s.queue = append(s.queue, c)
+			s.cond.Signal()
+		}
+		if s.busy == 0 && len(s.queue) == 0 {
+			s.idleCnd.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// close stops all workers. Queued work is abandoned.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.idleCnd.Broadcast()
+	s.wg.Wait()
+}
+
+// awaitIdle blocks until the run queue is empty and no component is
+// executing, or the scheduler is closed. Note that quiescence is momentary:
+// external goroutines (timers, sockets) may enqueue new work afterwards.
+func (s *scheduler) awaitIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for (len(s.queue) > 0 || s.busy > 0) && !s.closed {
+		s.idleCnd.Wait()
+	}
+}

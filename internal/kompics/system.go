@@ -1,0 +1,134 @@
+package kompics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+)
+
+// selfPort is the pseudo port type backing Component.SelfTrigger. Events on
+// it bypass the port type system; they never cross channels.
+var selfPort = NewPortType("Self")
+
+// Option configures a System.
+type Option func(*System)
+
+// WithWorkers sets the number of scheduler workers (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *System) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithMaxEvents sets how many events a component handles per scheduling
+// before yielding — the paper's throughput/fairness knob (default: 16).
+func WithMaxEvents(n int) Option {
+	return func(s *System) {
+		if n > 0 {
+			s.maxEvents = n
+		}
+	}
+}
+
+// WithClock injects the clock used by components (default: the OS clock).
+func WithClock(c clock.Clock) Option {
+	return func(s *System) { s.clock = c }
+}
+
+// WithFaultHandler installs a callback invoked whenever a component
+// handler panics. The default keeps faults silent (they are also published
+// as Fault indications on the component's control port).
+func WithFaultHandler(fn func(*Fault)) Option {
+	return func(s *System) { s.onFault = fn }
+}
+
+// System owns a set of components and the scheduler that runs them.
+type System struct {
+	workers   int
+	maxEvents int
+	clock     clock.Clock
+	onFault   func(*Fault)
+
+	sched  *scheduler
+	nextID atomic.Uint64
+
+	mu         sync.Mutex
+	components map[ComponentID]*Component
+	closed     bool
+}
+
+// NewSystem creates and starts a component system.
+func NewSystem(opts ...Option) *System {
+	s := &System{
+		workers:    runtime.GOMAXPROCS(0),
+		maxEvents:  16,
+		clock:      clock.Real{},
+		components: make(map[ComponentID]*Component),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.sched = newScheduler(s.workers, s.maxEvents)
+	return s
+}
+
+// Clock returns the system clock.
+func (s *System) Clock() clock.Clock { return s.clock }
+
+// Create instantiates a component from def. Init runs synchronously on the
+// calling goroutine; the component is created stopped and must be started
+// with Start.
+func (s *System) Create(def Definition) *Component {
+	c := &Component{
+		id:  ComponentID(s.nextID.Add(1)),
+		sys: s,
+		def: def,
+	}
+	c.control = &Port{owner: c, ptype: ControlPort, provided: true}
+	c.self = &Port{owner: c, ptype: selfPort, provided: true}
+	c.ports = append(c.ports, c.control, c.self)
+	def.Init(&Context{c: c})
+
+	s.mu.Lock()
+	s.components[c.id] = c
+	s.mu.Unlock()
+	return c
+}
+
+// Start delivers a Start request to the component's control port.
+func (s *System) Start(c *Component) { c.enqueue(c.control, Start{}) }
+
+// Stop delivers a Stop request to the component's control port.
+func (s *System) Stop(c *Component) { c.enqueue(c.control, Stop{}) }
+
+// Kill delivers a Kill request; the component is halted permanently.
+func (s *System) Kill(c *Component) { c.enqueue(c.control, Kill{}) }
+
+// AwaitQuiescence blocks until no component has runnable work. It is a
+// momentary condition intended for tests and synchronous drivers; external
+// event sources can re-activate the system immediately afterwards.
+func (s *System) AwaitQuiescence() { s.sched.awaitIdle() }
+
+// Shutdown stops the scheduler. Components are not notified; callers that
+// need orderly teardown should Stop/Kill components and AwaitQuiescence
+// first.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.sched.close()
+}
+
+func (s *System) reportFault(f *Fault) {
+	if s.onFault != nil {
+		s.onFault(f)
+	}
+}

@@ -1,0 +1,26 @@
+// Package netsim is a deterministic discrete-event network simulator that
+// stands in for the paper's Amazon EC2 testbed (§V-A, figure 7).
+//
+// The original evaluation ran pairs of c3.2xlarge instances in four
+// geographic setups — Local (loopback), EU-VPC (same datacentre, ~3 ms
+// RTT), EU2US (Ireland↔N. California, ~155 ms) and EU2AU (Ireland↔Sydney,
+// ~320 ms) — and observed three dominant mechanisms:
+//
+//   - TCP throughput collapses on high bandwidth-delay-product paths with
+//     non-zero loss (AIMD: rate ≈ MSS/RTT · √(3/2p), Mathis et al.);
+//   - Amazon rate-limits UDP traffic to roughly 10 MB/s, which caps UDT
+//     (and raw UDP) consistently across all real-network setups;
+//   - latency-sensitive control messages queue behind bulk data when both
+//     share a transport connection.
+//
+// netsim models exactly these mechanisms: paths with propagation delay,
+// per-direction link rates, per-segment random loss, a UDP policer, and
+// disk/serialisation rate caps; connections with FIFO send lanes; and
+// per-protocol congestion models (TCP slow-start/AIMD, UDT DAIMD rate
+// control, raw UDP). Messages — not packets — are the unit of event
+// processing, with loss sampled per 1460-byte segment, which keeps a
+// 395 MB transfer cheap to simulate while reproducing AIMD dynamics.
+//
+// Time is virtual (clock.Virtual), so a 120-second learner experiment runs
+// in milliseconds and is bit-for-bit reproducible for a given seed.
+package netsim

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// mss is the segment size used for loss sampling and window math.
+const mss = 1460.0
+
+// protoModel is the per-lane congestion/rate model of one transport.
+type protoModel interface {
+	// demand returns the rate in bytes/second the protocol would use if
+	// the link were unconstrained.
+	demand() float64
+	// onTransmit updates protocol state after transmitting a message of
+	// segs segments, of which losses were lost, over txTime. rateCap is
+	// the lane's static rate bound (policer, buffers, disk, link) —
+	// independent of the model's own current rate — so rate-based models
+	// can ramp towards it.
+	onTransmit(segs, losses int, txTime time.Duration, rateCap float64)
+	// reliable reports whether lost segments are retransmitted (messages
+	// are never dropped, merely slowed).
+	reliable() bool
+	// policed reports whether the UDP policer applies.
+	policed() bool
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+// tcpModel is a byte-granular slow-start/AIMD window model. Rate is
+// cwnd/RTT; congestion avoidance adds MSS²/cwnd per acknowledged segment
+// (one MSS per RTT), and any loss in a message halves the window once
+// (one loss event per delivery round). For steady loss probability p this
+// reproduces the Mathis throughput MSS/RTT·√(3/2p), which is the mechanism
+// behind the paper's TCP collapse on long paths.
+type tcpModel struct {
+	rtt       time.Duration
+	cwnd      float64 // bytes
+	ssthresh  float64 // bytes
+	maxWindow float64 // send/receive buffer bound, bytes
+}
+
+const (
+	tcpInitialWindowSegs = 10
+	tcpMinWindowSegs     = 2
+	// tcpDefaultMaxWindow models Linux autotuned buffers on the paper's
+	// instances.
+	tcpDefaultMaxWindow = 8 << 20
+)
+
+func newTCPModel(rtt time.Duration) *tcpModel {
+	return &tcpModel{
+		rtt:       rtt,
+		cwnd:      tcpInitialWindowSegs * mss,
+		ssthresh:  1 << 20,
+		maxWindow: tcpDefaultMaxWindow,
+	}
+}
+
+var _ protoModel = (*tcpModel)(nil)
+
+func (m *tcpModel) demand() float64 {
+	return m.cwnd / m.rtt.Seconds()
+}
+
+func (m *tcpModel) onTransmit(segs, losses int, _ time.Duration, _ float64) {
+	if losses > 0 {
+		m.ssthresh = math.Max(m.cwnd/2, tcpMinWindowSegs*mss)
+		m.cwnd = m.ssthresh
+		return
+	}
+	acked := float64(segs) * mss
+	if m.cwnd < m.ssthresh {
+		m.cwnd += acked // slow start: one MSS per ACK
+	} else {
+		m.cwnd += acked * mss / m.cwnd // congestion avoidance
+	}
+	if m.cwnd > m.maxWindow {
+		m.cwnd = m.maxWindow
+	}
+}
+
+func (m *tcpModel) reliable() bool { return true }
+func (m *tcpModel) policed() bool  { return false }
+
+// --- UDT ---------------------------------------------------------------------
+
+// udtModel is a DAIMD rate-based model: the sending rate ramps towards the
+// effective cap with a fixed acceleration and decreases multiplicatively
+// by 1/9 on loss (UDT's NAK response). Because the decrease is gentle and
+// the increase is delay-independent, UDT holds its rate on long fat paths
+// where TCP collapses — at the price of being clamped by the UDP policer.
+type udtModel struct {
+	rate float64 // bytes/s
+	ramp float64 // bytes/s per second
+}
+
+const (
+	udtInitialRate = 1 << 20 // 1 MB/s
+	udtMinRate     = 64 << 10
+	// udtDefaultRamp reaches the 10 MB/s policer in well under a second,
+	// leaving only the short "ramp up time" the paper reports for DATA.
+	udtDefaultRamp = 20 << 20
+)
+
+func newUDTModel() *udtModel {
+	return &udtModel{rate: udtInitialRate, ramp: udtDefaultRamp}
+}
+
+var _ protoModel = (*udtModel)(nil)
+
+func (m *udtModel) demand() float64 { return m.rate }
+
+func (m *udtModel) onTransmit(_, losses int, txTime time.Duration, rateCap float64) {
+	if losses > 0 {
+		m.rate = math.Max(m.rate*8/9, udtMinRate)
+		return
+	}
+	m.rate += m.ramp * txTime.Seconds()
+	// Probe slightly beyond the cap so the policer keeps the flow honest,
+	// but do not run away unboundedly.
+	limit := rateCap * 1.05
+	if rateCap > 0 && m.rate > limit {
+		m.rate = limit
+	}
+}
+
+func (m *udtModel) reliable() bool { return true }
+func (m *udtModel) policed() bool  { return true }
+
+// --- UDP ---------------------------------------------------------------------
+
+// udpModel sends as fast as the effective cap allows with no congestion
+// control and no retransmission: any segment loss drops the whole message
+// (at-most-once semantics).
+type udpModel struct{}
+
+var _ protoModel = udpModel{}
+
+func (udpModel) demand() float64 { return math.MaxFloat64 }
+
+func (udpModel) onTransmit(int, int, time.Duration, float64) {}
+
+func (udpModel) reliable() bool { return false }
+func (udpModel) policed() bool  { return true }

@@ -1,0 +1,459 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+const chunkSize = 65 << 10 // the paper's 65 kB serialisation buffers
+
+// transferRate pushes total bytes through a fresh connection and returns
+// the achieved throughput in bytes/second.
+func transferRate(t *testing.T, seed int64, cfg PathConfig, proto core.Transport, total int) float64 {
+	t.Helper()
+	sim := NewSim(seed)
+	path := sim.NewPath(cfg)
+	conn := path.NewConn(proto, WithDiskBound())
+	var delivered int64
+	conn.OnDeliver(AtoB, func(m *Message) { delivered += int64(m.Size) })
+	var dropped int64
+	conn.OnDrop(AtoB, func(m *Message) { dropped += int64(m.Size) })
+
+	for sent := 0; sent < total; sent += chunkSize {
+		size := chunkSize
+		if total-sent < size {
+			size = total - sent
+		}
+		conn.Send(AtoB, &Message{Size: size, Kind: DataKind})
+	}
+	done := func() bool { return delivered+dropped >= int64(total) }
+	if !sim.RunUntil(done, 24*time.Hour) {
+		t.Fatalf("%s/%v: transfer did not finish (delivered %d of %d)",
+			cfg.Name, proto, delivered, total)
+	}
+	return float64(delivered) / sim.Elapsed().Seconds()
+}
+
+func TestSetupsValid(t *testing.T) {
+	for _, cfg := range append(Setups(), SetupLearner) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("setup %s invalid: %v", cfg.Name, err)
+		}
+	}
+	if len(Setups()) != 4 {
+		t.Fatalf("Setups() returned %d entries, want 4", len(Setups()))
+	}
+}
+
+func TestPathConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  PathConfig
+		ok   bool
+	}{
+		{"valid", PathConfig{Name: "x", LinkRate: 1}, true},
+		{"negative rtt", PathConfig{Name: "x", RTT: -1, LinkRate: 1}, false},
+		{"zero link", PathConfig{Name: "x"}, false},
+		{"loss 1", PathConfig{Name: "x", LinkRate: 1, LossRate: 1}, false},
+		{"loss negative", PathConfig{Name: "x", LinkRate: 1, LossRate: -0.1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewPathPanicsOnInvalidConfig(t *testing.T) {
+	sim := NewSim(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPath accepted an invalid config")
+		}
+	}()
+	sim.NewPath(PathConfig{Name: "bad"})
+}
+
+func TestNewConnRejectsNonWireProtocol(t *testing.T) {
+	sim := NewSim(1)
+	path := sim.NewPath(SetupEUVPC)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewConn accepted DATA")
+		}
+	}()
+	path.NewConn(core.DATA)
+}
+
+// --- calibration: figure 9 operating points ---------------------------------
+
+func TestTCPDiskLimitedLocally(t *testing.T) {
+	rate := transferRate(t, 1, SetupLocal, core.TCP, 100<<20)
+	if rate < 90*MBps || rate > 115*MBps {
+		t.Fatalf("local TCP rate = %.1f MB/s, want ≈110 (disk-limited)", rate/MBps)
+	}
+}
+
+func TestTCPFastInVPC(t *testing.T) {
+	rate := transferRate(t, 1, SetupEUVPC, core.TCP, 100<<20)
+	if rate < 80*MBps || rate > 115*MBps {
+		t.Fatalf("VPC TCP rate = %.1f MB/s, want ≈100-110", rate/MBps)
+	}
+}
+
+func TestTCPCollapsesTranscontinental(t *testing.T) {
+	// Mathis: MSS/RTT·√(3/2p) ≈ 1.2 MB/s at 155 ms with p=1e-4.
+	rate := transferRate(t, 1, SetupEU2US, core.TCP, 30<<20)
+	if rate < 0.3*MBps || rate > 4*MBps {
+		t.Fatalf("EU2US TCP rate = %.2f MB/s, want ≈1 (AIMD collapse)", rate/MBps)
+	}
+	rateAU := transferRate(t, 1, SetupEU2AU, core.TCP, 15<<20)
+	if rateAU >= rate {
+		t.Fatalf("EU2AU TCP (%.2f MB/s) not slower than EU2US (%.2f MB/s)",
+			rateAU/MBps, rate/MBps)
+	}
+}
+
+func TestUDTPinnedAtPolicerOnRealNetworks(t *testing.T) {
+	for _, cfg := range []PathConfig{SetupEUVPC, SetupEU2US, SetupEU2AU} {
+		rate := transferRate(t, 1, cfg, core.UDT, 60<<20)
+		if rate < 7*MBps || rate > 11*MBps {
+			t.Fatalf("%s UDT rate = %.2f MB/s, want ≈10 (policer)", cfg.Name, rate/MBps)
+		}
+	}
+}
+
+func TestUDTBufferLimitedLocally(t *testing.T) {
+	rate := transferRate(t, 1, SetupLocal, core.UDT, 200<<20)
+	if rate < 24*MBps || rate > 32*MBps {
+		t.Fatalf("local UDT rate = %.2f MB/s, want ≈30 (buffer bound)", rate/MBps)
+	}
+}
+
+func TestUDTBeatsTCPOnLongPaths(t *testing.T) {
+	tcp := transferRate(t, 1, SetupEU2AU, core.TCP, 15<<20)
+	udt := transferRate(t, 1, SetupEU2AU, core.UDT, 60<<20)
+	if udt < 5*tcp {
+		t.Fatalf("EU2AU: UDT (%.2f MB/s) not ≫ TCP (%.2f MB/s); paper reports ~an order of magnitude",
+			udt/MBps, tcp/MBps)
+	}
+}
+
+func TestTCPBeatsUDTInVPC(t *testing.T) {
+	tcp := transferRate(t, 1, SetupEUVPC, core.TCP, 100<<20)
+	udt := transferRate(t, 1, SetupEUVPC, core.UDT, 60<<20)
+	if tcp < 5*udt {
+		t.Fatalf("VPC: TCP (%.2f MB/s) not ≫ UDT (%.2f MB/s)", tcp/MBps, udt/MBps)
+	}
+}
+
+// --- UDP ---------------------------------------------------------------------
+
+func TestUDPDropsOnLoss(t *testing.T) {
+	cfg := SetupEU2US
+	cfg.LossRate = 0.05 // aggressive loss to make drops certain
+	sim := NewSim(7)
+	path := sim.NewPath(cfg)
+	conn := path.NewConn(core.UDP)
+	var delivered, dropped int
+	conn.OnDeliver(AtoB, func(*Message) { delivered++ })
+	conn.OnDrop(AtoB, func(*Message) { dropped++ })
+	const n = 200
+	for i := 0; i < n; i++ {
+		conn.Send(AtoB, &Message{Size: chunkSize, Kind: DataKind})
+	}
+	sim.RunUntil(func() bool { return delivered+dropped == n }, time.Hour)
+	if delivered+dropped != n {
+		t.Fatalf("accounted %d messages, want %d", delivered+dropped, n)
+	}
+	if dropped == 0 {
+		t.Fatal("no UDP drops despite 5% segment loss on 45-segment messages")
+	}
+	st := conn.Stats(AtoB)
+	if st.MsgsDropped != dropped || st.MsgsDelivered != delivered {
+		t.Fatalf("stats %+v inconsistent with callbacks (%d/%d)", st, delivered, dropped)
+	}
+}
+
+func TestUDPCappedByPolicer(t *testing.T) {
+	rate := transferRate(t, 3, SetupEUVPC, core.UDP, 40<<20)
+	if rate > 11*MBps {
+		t.Fatalf("UDP rate = %.2f MB/s exceeds the 10 MB/s policer", rate/MBps)
+	}
+}
+
+// --- latency -------------------------------------------------------------------
+
+// pingRTT measures request/response round trips on a dedicated connection,
+// optionally with bulk data occupying the same connection's forward lane.
+func pingRTT(t *testing.T, cfg PathConfig, withData bool) time.Duration {
+	t.Helper()
+	sim := NewSim(11)
+	path := sim.NewPath(cfg)
+	conn := path.NewConn(core.TCP)
+
+	if withData {
+		// Keep ~8 MB of bulk data queued ahead of pings, mimicking the
+		// asynchronous file-transfer sender's outstanding window, and let
+		// TCP reach AIMD steady state before measuring.
+		var refill func()
+		refill = func() {
+			for conn.QueuedBytes(AtoB) < 8<<20 {
+				conn.Send(AtoB, &Message{Size: chunkSize, Kind: DataKind})
+			}
+			sim.Schedule(10*time.Millisecond, refill)
+		}
+		refill()
+		sim.RunFor(60 * time.Second)
+	}
+
+	const pings = 20
+	var rtts []time.Duration
+	var sentAt time.Time
+	conn.OnDeliver(BtoA, func(m *Message) {
+		rtts = append(rtts, sim.Now().Sub(sentAt))
+		if len(rtts) < pings {
+			sendPing(sim, conn, &sentAt)
+		}
+	})
+	conn.OnDeliver(AtoB, func(m *Message) {
+		if m.Kind == ControlKind {
+			conn.Send(BtoA, &Message{Size: 100, Kind: ControlKind})
+		}
+	})
+	sendPing(sim, conn, &sentAt)
+	if !sim.RunUntil(func() bool { return len(rtts) == pings }, time.Hour) {
+		t.Fatalf("only %d pings completed", len(rtts))
+	}
+	var sum time.Duration
+	for _, r := range rtts {
+		sum += r
+	}
+	return sum / pings
+}
+
+func sendPing(sim *Sim, conn *Conn, sentAt *time.Time) {
+	*sentAt = sim.Now()
+	conn.Send(AtoB, &Message{Size: 100, Kind: ControlKind})
+}
+
+func TestPingRTTMatchesBaseRTTWhenIdle(t *testing.T) {
+	got := pingRTT(t, SetupEU2US, false)
+	want := SetupEU2US.RTT
+	if got < want || got > want+20*time.Millisecond {
+		t.Fatalf("idle ping RTT = %v, want ≈%v", got, want)
+	}
+}
+
+func TestPingRTTInflatedBehindBulkData(t *testing.T) {
+	idle := pingRTT(t, SetupEU2US, false)
+	busy := pingRTT(t, SetupEU2US, true)
+	// The paper reports control latency rising by ~2 orders of magnitude
+	// when data shares the TCP connection.
+	if busy < 10*idle {
+		t.Fatalf("busy ping RTT %v not ≫ idle %v", busy, idle)
+	}
+}
+
+func TestPingRTTBarelyAffectedOnSeparateConnection(t *testing.T) {
+	// Data on its own UDT connection: pings on the TCP connection should
+	// stay near base RTT (the two protocols do not interfere much).
+	sim := NewSim(13)
+	path := sim.NewPath(SetupEU2US)
+	pingConn := path.NewConn(core.TCP)
+	dataConn := path.NewConn(core.UDT)
+
+	var refill func()
+	refill = func() {
+		for dataConn.QueuedBytes(AtoB) < 2<<20 {
+			dataConn.Send(AtoB, &Message{Size: chunkSize, Kind: DataKind})
+		}
+		sim.Schedule(10*time.Millisecond, refill)
+	}
+	refill()
+
+	var rtts []time.Duration
+	var sentAt time.Time
+	pingConn.OnDeliver(BtoA, func(*Message) {
+		rtts = append(rtts, sim.Now().Sub(sentAt))
+		if len(rtts) < 20 {
+			sentAt = sim.Now()
+			pingConn.Send(AtoB, &Message{Size: 100, Kind: ControlKind})
+		}
+	})
+	pingConn.OnDeliver(AtoB, func(*Message) {
+		pingConn.Send(BtoA, &Message{Size: 100, Kind: ControlKind})
+	})
+	sentAt = sim.Now()
+	pingConn.Send(AtoB, &Message{Size: 100, Kind: ControlKind})
+	if !sim.RunUntil(func() bool { return len(rtts) == 20 }, time.Hour) {
+		t.Fatal("pings did not complete")
+	}
+	var sum time.Duration
+	for _, r := range rtts {
+		sum += r
+	}
+	avg := sum / time.Duration(len(rtts))
+	if avg > 2*SetupEU2US.RTT {
+		t.Fatalf("ping RTT with parallel UDT data = %v, want < 2×%v", avg, SetupEU2US.RTT)
+	}
+}
+
+// --- sharing, ordering, determinism -------------------------------------------
+
+func TestLinkSharingBetweenFlows(t *testing.T) {
+	// Two TCP flows on a clean constrained link should share it roughly
+	// evenly and not exceed capacity.
+	cfg := PathConfig{
+		Name:     "shared",
+		RTT:      10 * time.Millisecond,
+		LinkRate: 20 * MBps,
+	}
+	sim := NewSim(5)
+	path := sim.NewPath(cfg)
+	c1 := path.NewConn(core.TCP)
+	c2 := path.NewConn(core.TCP)
+	var d1, d2 int64
+	c1.OnDeliver(AtoB, func(m *Message) { d1 += int64(m.Size) })
+	c2.OnDeliver(AtoB, func(m *Message) { d2 += int64(m.Size) })
+	const total = 40 << 20
+	for sent := 0; sent < total; sent += chunkSize {
+		c1.Send(AtoB, &Message{Size: chunkSize})
+		c2.Send(AtoB, &Message{Size: chunkSize})
+	}
+	sim.RunUntil(func() bool { return d1+d2 >= 2*total }, time.Hour)
+	elapsed := sim.Elapsed().Seconds()
+	aggregate := float64(d1+d2) / elapsed
+	if aggregate > 1.15*cfg.LinkRate {
+		t.Fatalf("aggregate rate %.1f MB/s exceeds link %.1f MB/s", aggregate/MBps, cfg.LinkRate/MBps)
+	}
+	ratio := float64(d1) / float64(d2)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("flow split %0.2f severely unfair", ratio)
+	}
+}
+
+func TestFIFODeliveryOrder(t *testing.T) {
+	sim := NewSim(9)
+	path := sim.NewPath(SetupEUVPC)
+	conn := path.NewConn(core.TCP)
+	var got []uint64
+	conn.OnDeliver(AtoB, func(m *Message) { got = append(got, m.ID) })
+	const n = 100
+	for i := 0; i < n; i++ {
+		conn.Send(AtoB, &Message{ID: uint64(i), Size: 1000})
+	}
+	sim.RunUntil(func() bool { return len(got) == n }, time.Hour)
+	for i, id := range got {
+		if id != uint64(i) {
+			t.Fatalf("delivery %d has ID %d; FIFO violated", i, id)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	r1 := transferRate(t, 42, SetupEU2US, core.TCP, 10<<20)
+	r2 := transferRate(t, 42, SetupEU2US, core.TCP, 10<<20)
+	if r1 != r2 {
+		t.Fatalf("same seed gave different rates: %v vs %v", r1, r2)
+	}
+	r3 := transferRate(t, 43, SetupEU2US, core.TCP, 10<<20)
+	if r1 == r3 {
+		t.Log("different seeds gave identical rates (possible but unlikely)")
+	}
+}
+
+func TestConnCloseStopsTraffic(t *testing.T) {
+	sim := NewSim(1)
+	path := sim.NewPath(SetupEUVPC)
+	conn := path.NewConn(core.TCP)
+	var delivered int
+	conn.OnDeliver(AtoB, func(*Message) { delivered++ })
+	conn.Send(AtoB, &Message{Size: 1000})
+	conn.Close()
+	conn.Close() // idempotent
+	conn.Send(AtoB, &Message{Size: 1000})
+	sim.Drain(time.Minute)
+	// The first message may complete its in-flight transmission; nothing
+	// queued after Close may be delivered.
+	if delivered > 1 {
+		t.Fatalf("delivered %d messages after close", delivered)
+	}
+	if conn.QueuedBytes(AtoB) != 0 {
+		t.Fatal("queue not cleared on close")
+	}
+}
+
+func TestMessageTimestamps(t *testing.T) {
+	sim := NewSim(1)
+	path := sim.NewPath(SetupEU2US)
+	conn := path.NewConn(core.TCP)
+	var m *Message
+	conn.OnDeliver(AtoB, func(d *Message) { m = d })
+	conn.Send(AtoB, &Message{Size: 1000})
+	sim.RunUntil(func() bool { return m != nil }, time.Hour)
+	if !m.DeliveredAt.After(m.EnqueuedAt) {
+		t.Fatalf("DeliveredAt %v not after EnqueuedAt %v", m.DeliveredAt, m.EnqueuedAt)
+	}
+	if lat := m.DeliveredAt.Sub(m.EnqueuedAt); lat < SetupEU2US.RTT/2 {
+		t.Fatalf("one-way latency %v below propagation delay", lat)
+	}
+}
+
+func TestDirHelpers(t *testing.T) {
+	if AtoB.Reverse() != BtoA || BtoA.Reverse() != AtoB {
+		t.Fatal("Dir.Reverse broken")
+	}
+	if AtoB.String() == "" || BtoA.String() == "" {
+		t.Fatal("Dir.String empty")
+	}
+}
+
+func TestPropertyReliableConservation(t *testing.T) {
+	// Every byte sent over a reliable protocol is delivered exactly once,
+	// for arbitrary message size mixes.
+	f := func(sizes []uint16, seed int64) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		sim := NewSim(seed)
+		path := sim.NewPath(SetupEU2US)
+		conn := path.NewConn(core.UDT)
+		var delivered int64
+		var count int
+		conn.OnDeliver(AtoB, func(m *Message) { delivered += int64(m.Size); count++ })
+		var sent int64
+		for _, s := range sizes {
+			size := int(s)%chunkSize + 1
+			sent += int64(size)
+			conn.Send(AtoB, &Message{Size: size})
+		}
+		sim.RunUntil(func() bool { return delivered >= sent }, 24*time.Hour)
+		return delivered == sent && count == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimScheduleAndElapsed(t *testing.T) {
+	sim := NewSim(1)
+	fired := false
+	sim.Schedule(5*time.Second, func() { fired = true })
+	sim.RunFor(10 * time.Second)
+	if !fired {
+		t.Fatal("scheduled event did not fire")
+	}
+	if sim.Elapsed() != 10*time.Second {
+		t.Fatalf("Elapsed() = %v, want 10s", sim.Elapsed())
+	}
+	if sim.Rand() == nil || sim.Clock() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// PathConfig describes one network path between two hosts, calibrated to
+// the paper's four experimental setups.
+type PathConfig struct {
+	// Name labels the setup (e.g. "EU2US").
+	Name string
+	// RTT is the base round-trip propagation time.
+	RTT time.Duration
+	// LinkRate is the per-direction link capacity in bytes/second.
+	LinkRate float64
+	// LossRate is the independent per-segment loss probability.
+	LossRate float64
+	// UDPPolicerRate caps UDP-carried traffic (UDT and raw UDP) per lane,
+	// in bytes/second; 0 disables the policer. Models Amazon's ~10 MB/s
+	// UDP rate limit.
+	UDPPolicerRate float64
+	// DiskRate caps disk-bound flows in bytes/second; 0 disables. Models
+	// the SSD bound that dominates the Local setup.
+	DiskRate float64
+	// AppRate caps any single flow at the middleware's serialisation
+	// throughput in bytes/second; 0 disables. The paper measured
+	// ~150 MB/s memory-to-memory.
+	AppRate float64
+	// UDTMaxRate caps UDT flows in bytes/second independent of the
+	// policer; 0 disables. Models UDT's internal queue/buffer bound
+	// observed on loopback.
+	UDTMaxRate float64
+}
+
+// Validate reports configuration errors.
+func (c PathConfig) Validate() error {
+	if c.RTT < 0 {
+		return fmt.Errorf("netsim: path %q: negative RTT", c.Name)
+	}
+	if c.LinkRate <= 0 {
+		return fmt.Errorf("netsim: path %q: LinkRate must be positive", c.Name)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netsim: path %q: LossRate must be in [0,1)", c.Name)
+	}
+	return nil
+}
+
+// Dir selects one direction of a duplex path.
+type Dir int
+
+// Path directions: AtoB is the "forward" direction (sender to receiver in
+// the transfer experiments).
+const (
+	AtoB Dir = iota
+	BtoA
+)
+
+// Reverse returns the opposite direction.
+func (d Dir) Reverse() Dir {
+	if d == AtoB {
+		return BtoA
+	}
+	return AtoB
+}
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == AtoB {
+		return "A→B"
+	}
+	return "B→A"
+}
+
+// Path is a duplex network path between two hosts. Connections are created
+// on a path and share its per-direction link capacity.
+type Path struct {
+	sim *Sim
+	cfg PathConfig
+
+	lanes [2][]*lane // active lanes per direction, for capacity sharing
+}
+
+// NewPath creates a path from cfg; invalid configurations panic, as they
+// are experiment-definition bugs.
+func (s *Sim) NewPath(cfg PathConfig) *Path {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Path{sim: s, cfg: cfg}
+}
+
+// Config returns the path's configuration.
+func (p *Path) Config() PathConfig { return p.cfg }
+
+// SetConfig changes the path's properties mid-simulation — RTT, loss,
+// rate caps — modelling changing network conditions (route flaps,
+// congestion onset, policer changes). Existing connections keep their
+// protocol state and experience the new environment from the next
+// transmission on; invalid configurations panic like NewPath.
+func (p *Path) SetConfig(cfg PathConfig) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p.cfg = cfg
+}
+
+// modelRTT returns the RTT used for window/rate math, with a floor so that
+// loopback (RTT ≈ 0) does not yield unbounded window-based rates.
+func (p *Path) modelRTT() time.Duration {
+	const floor = 100 * time.Microsecond
+	if p.cfg.RTT < floor {
+		return floor
+	}
+	return p.cfg.RTT
+}
+
+// propagationDelay is the one-way latency.
+func (p *Path) propagationDelay() time.Duration { return p.cfg.RTT / 2 }
+
+func (p *Path) register(l *lane) {
+	p.lanes[l.dir] = append(p.lanes[l.dir], l)
+}
+
+func (p *Path) unregister(l *lane) {
+	ls := p.lanes[l.dir]
+	for i, x := range ls {
+		if x == l {
+			p.lanes[l.dir] = append(ls[:i], ls[i+1:]...)
+			return
+		}
+	}
+}
+
+// shareLink returns the capacity share available to lane l: the
+// direction's LinkRate is split proportionally to capped demand among
+// active lanes, and disk-bound lanes additionally share the DiskRate
+// (there is one disk, however many connections read from it).
+func (p *Path) shareLink(l *lane) float64 {
+	demand := l.cappedDemand()
+	if demand <= 0 {
+		return 0
+	}
+	total := 0.0
+	diskTotal := 0.0
+	for _, x := range p.lanes[l.dir] {
+		if x == l || x.active() {
+			d := x.cappedDemand()
+			total += d
+			if x.diskBound {
+				diskTotal += d
+			}
+		}
+	}
+	if total > p.cfg.LinkRate {
+		demand *= p.cfg.LinkRate / total
+		diskTotal *= p.cfg.LinkRate / total
+	}
+	if l.diskBound && p.cfg.DiskRate > 0 && diskTotal > p.cfg.DiskRate {
+		demand *= p.cfg.DiskRate / diskTotal
+	}
+	return demand
+}

@@ -1,0 +1,74 @@
+package netsim
+
+import "time"
+
+// Byte-rate units for calibration constants.
+const (
+	KBps float64 = 1 << 10
+	MBps float64 = 1 << 20
+)
+
+// The four experimental setups of §V-A (figure 7), calibrated to the
+// operating points the paper reports: TCP disk-limited locally and within
+// the VPC, collapsing on transcontinental paths; UDT pinned near Amazon's
+// ~10 MB/s UDP policer on every real network and buffer-limited on
+// loopback.
+var (
+	// SetupLocal copies disk-to-disk on one node over loopback.
+	SetupLocal = PathConfig{
+		Name:           "Local",
+		RTT:            100 * time.Microsecond,
+		LinkRate:       1500 * MBps,
+		LossRate:       0,
+		UDPPolicerRate: 0,
+		DiskRate:       110 * MBps,
+		AppRate:        150 * MBps,
+		UDTMaxRate:     30 * MBps,
+	}
+	// SetupEUVPC pairs two instances within one datacentre (Ireland).
+	SetupEUVPC = PathConfig{
+		Name:           "EU-VPC",
+		RTT:            3 * time.Millisecond,
+		LinkRate:       125 * MBps,
+		LossRate:       1e-6,
+		UDPPolicerRate: 10 * MBps,
+		DiskRate:       110 * MBps,
+		AppRate:        150 * MBps,
+	}
+	// SetupEU2US pairs Ireland with North California (~155 ms RTT).
+	SetupEU2US = PathConfig{
+		Name:           "EU2US",
+		RTT:            155 * time.Millisecond,
+		LinkRate:       125 * MBps,
+		LossRate:       1e-4,
+		UDPPolicerRate: 10 * MBps,
+		DiskRate:       110 * MBps,
+		AppRate:        150 * MBps,
+	}
+	// SetupEU2AU pairs Ireland with Sydney (~320 ms RTT).
+	SetupEU2AU = PathConfig{
+		Name:           "EU2AU",
+		RTT:            320 * time.Millisecond,
+		LinkRate:       125 * MBps,
+		LossRate:       1e-4,
+		UDPPolicerRate: 10 * MBps,
+		DiskRate:       110 * MBps,
+		AppRate:        150 * MBps,
+	}
+	// SetupLearner is the environment of §IV's learner figures: a
+	// 100 MB/s link with 10 ms one-way delay where TCP is strong, so the
+	// optimal ratio is r ≈ −1 (pure TCP).
+	SetupLearner = PathConfig{
+		Name:           "Learner",
+		RTT:            20 * time.Millisecond,
+		LinkRate:       100 * MBps,
+		LossRate:       0,
+		UDPPolicerRate: 10 * MBps,
+		AppRate:        150 * MBps,
+	}
+)
+
+// Setups returns the paper's four geographic setups in figure order.
+func Setups() []PathConfig {
+	return []PathConfig{SetupLocal, SetupEUVPC, SetupEU2US, SetupEU2AU}
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+)
+
+// Sim owns virtual time and the random source for one simulation run.
+// All state mutation happens on the goroutine driving RunFor/RunUntil, so
+// callbacks need no locking.
+type Sim struct {
+	clk   *clock.Virtual
+	rng   *rand.Rand
+	epoch time.Time
+}
+
+// NewSim creates a simulator seeded for reproducibility.
+func NewSim(seed int64) *Sim {
+	clk := clock.NewVirtual()
+	return &Sim{
+		clk:   clk,
+		rng:   rand.New(rand.NewSource(seed)),
+		epoch: clk.Now(),
+	}
+}
+
+// Clock exposes the virtual clock, e.g. to inject into middleware logic.
+func (s *Sim) Clock() *clock.Virtual { return s.clk }
+
+// Rand returns the simulation's random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Now returns the current virtual instant.
+func (s *Sim) Now() time.Time { return s.clk.Now() }
+
+// Elapsed returns virtual time since the simulation began.
+func (s *Sim) Elapsed() time.Duration { return s.clk.Now().Sub(s.epoch) }
+
+// Schedule runs f after virtual delay d.
+func (s *Sim) Schedule(d time.Duration, f func()) clock.Timer {
+	return s.clk.AfterFunc(d, f)
+}
+
+// RunFor advances virtual time by d, executing all due events in order.
+func (s *Sim) RunFor(d time.Duration) { s.clk.Advance(d) }
+
+// RunUntil advances virtual time until cond holds or the event queue runs
+// dry or maxTime elapses. It reports whether cond became true.
+func (s *Sim) RunUntil(cond func() bool, maxTime time.Duration) bool {
+	deadline := s.clk.Now().Add(maxTime)
+	for !cond() {
+		next, ok := s.clk.NextDeadline()
+		if !ok || next.After(deadline) {
+			return cond()
+		}
+		s.clk.AdvanceTo(next)
+	}
+	return true
+}
+
+// Drain runs events until the queue is empty or maxTime elapses.
+func (s *Sim) Drain(maxTime time.Duration) {
+	deadline := s.clk.Now().Add(maxTime)
+	for {
+		next, ok := s.clk.NextDeadline()
+		if !ok || next.After(deadline) {
+			return
+		}
+		s.clk.AdvanceTo(next)
+	}
+}

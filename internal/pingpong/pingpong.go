@@ -1,0 +1,268 @@
+// Package pingpong implements the control-message workload of §V-A:
+// timing-sensitive "ping" messages answered by "pongs", with the sender
+// measuring round-trip times. In the evaluation these latency probes run
+// concurrently with bulk transfers to quantify how much data traffic
+// delays control traffic on each transport combination (figure 8).
+package pingpong
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
+)
+
+// Ping is the probe message.
+type Ping struct {
+	Src, Dst core.BasicAddress
+	Proto    core.Transport
+	Seq      uint64
+}
+
+// Pong is the reply, echoing the probe's sequence number.
+type Pong struct {
+	Src, Dst core.BasicAddress
+	Proto    core.Transport
+	Seq      uint64
+}
+
+var (
+	_ core.Msg = &Ping{}
+	_ core.Msg = &Pong{}
+)
+
+// Header implements core.Msg.
+func (p *Ping) Header() core.Header { return core.NewHeader(p.Src, p.Dst, p.Proto) }
+
+// Header implements core.Msg.
+func (p *Pong) Header() core.Header { return core.NewHeader(p.Src, p.Dst, p.Proto) }
+
+// Serializer IDs for the ping/pong wire codecs.
+const (
+	PingSerializerID codec.SerializerID = 17
+	PongSerializerID codec.SerializerID = 18
+)
+
+type pingSerializer struct{}
+type pongSerializer struct{}
+
+func (pingSerializer) ID() codec.SerializerID { return PingSerializerID }
+func (pongSerializer) ID() codec.SerializerID { return PongSerializerID }
+
+func (pingSerializer) Serialize(w io.Writer, v interface{}) error {
+	m, ok := v.(*Ping)
+	if !ok {
+		return fmt.Errorf("pingpong: cannot encode %T as Ping", v)
+	}
+	return writeProbe(w, m.Src, m.Dst, m.Proto, m.Seq)
+}
+
+func (pongSerializer) Serialize(w io.Writer, v interface{}) error {
+	m, ok := v.(*Pong)
+	if !ok {
+		return fmt.Errorf("pingpong: cannot encode %T as Pong", v)
+	}
+	return writeProbe(w, m.Src, m.Dst, m.Proto, m.Seq)
+}
+
+func (pingSerializer) Deserialize(r io.Reader) (interface{}, error) {
+	src, dst, proto, seq, err := readProbe(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Ping{Src: src, Dst: dst, Proto: proto, Seq: seq}, nil
+}
+
+func (pongSerializer) Deserialize(r io.Reader) (interface{}, error) {
+	src, dst, proto, seq, err := readProbe(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Pong{Src: src, Dst: dst, Proto: proto, Seq: seq}, nil
+}
+
+func writeProbe(w io.Writer, src, dst core.BasicAddress, proto core.Transport, seq uint64) error {
+	if err := core.WriteBasicHeader(w, core.NewHeader(src, dst, proto)); err != nil {
+		return err
+	}
+	return codec.WriteUvarint(w, seq)
+}
+
+func readProbe(r io.Reader) (src, dst core.BasicAddress, proto core.Transport, seq uint64, err error) {
+	hdr, err := core.ReadBasicHeader(r)
+	if err != nil {
+		return core.BasicAddress{}, core.BasicAddress{}, 0, 0, err
+	}
+	seq, err = codec.ReadUvarint(r)
+	if err != nil {
+		return core.BasicAddress{}, core.BasicAddress{}, 0, 0, err
+	}
+	src, _ = hdr.Src.(core.BasicAddress)
+	dst, _ = hdr.Dst.(core.BasicAddress)
+	return src, dst, hdr.Proto, seq, nil
+}
+
+// Register adds the ping/pong serialisers to a registry.
+func Register(reg *codec.Registry) error {
+	if err := reg.Register(pingSerializer{}, (*Ping)(nil)); err != nil {
+		return err
+	}
+	return reg.Register(pongSerializer{}, (*Pong)(nil))
+}
+
+// PingPort reports measured round trips.
+var PingPort = kompics.NewPortType("PingPong").
+	Indication(RTTSample{}).
+	Request(StartPinging{})
+
+// StartPinging asks a Pinger to begin probing.
+type StartPinging struct{}
+
+// RTTSample is one measured round trip.
+type RTTSample struct {
+	Seq uint64
+	RTT time.Duration
+}
+
+// PingerConfig parameterises a Pinger.
+type PingerConfig struct {
+	// Self and Dest are the endpoints.
+	Self, Dest core.BasicAddress
+	// Proto is the transport for probes.
+	Proto core.Transport
+	// Interval between probes (default 100 ms).
+	Interval time.Duration
+	// Count stops probing after this many pongs; 0 means unbounded.
+	Count int
+}
+
+// Pinger sends probes at a fixed interval and publishes RTT samples.
+type Pinger struct {
+	cfg PingerConfig
+
+	ctx      *kompics.Context
+	comp     *kompics.Component
+	netPort  *kompics.Port
+	pingPort *kompics.Port
+
+	seq      uint64
+	sentAt   map[uint64]time.Time
+	rtts     stats.Sample
+	running  bool
+	received int
+}
+
+var _ kompics.Definition = (*Pinger)(nil)
+
+// NewPinger builds the component definition.
+func NewPinger(cfg PingerConfig) *Pinger {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	return &Pinger{cfg: cfg, sentAt: make(map[uint64]time.Time)}
+}
+
+// NetPort returns the required network port for wiring.
+func (p *Pinger) NetPort() *kompics.Port { return p.netPort }
+
+// Port returns the provided ping port.
+func (p *Pinger) Port() *kompics.Port { return p.pingPort }
+
+// RTTs returns a snapshot of collected samples. Call only after the
+// system has quiesced (or from a connected component).
+func (p *Pinger) RTTs() *stats.Sample { return &p.rtts }
+
+type tick struct{}
+
+// Init implements kompics.Definition.
+func (p *Pinger) Init(ctx *kompics.Context) {
+	p.ctx = ctx
+	p.comp = ctx.Component()
+	p.netPort = ctx.Requires(core.NetworkPort)
+	p.pingPort = ctx.Provides(PingPort)
+
+	ctx.Subscribe(p.pingPort, StartPinging{}, func(kompics.Event) {
+		if p.running {
+			return
+		}
+		p.running = true
+		p.sendProbe()
+	})
+	ctx.Subscribe(p.netPort, (*core.Msg)(nil), func(e kompics.Event) {
+		pong, ok := e.(*Pong)
+		if !ok {
+			return
+		}
+		p.onPong(pong)
+	})
+	ctx.SubscribeSelf(tick{}, func(kompics.Event) {
+		if p.running {
+			p.sendProbe()
+		}
+	})
+}
+
+func (p *Pinger) sendProbe() {
+	if p.cfg.Count > 0 && p.seq >= uint64(p.cfg.Count) {
+		return
+	}
+	p.seq++
+	seq := p.seq
+	p.sentAt[seq] = p.ctx.System().Clock().Now()
+	p.ctx.Trigger(&Ping{Src: p.cfg.Self, Dst: p.cfg.Dest, Proto: p.cfg.Proto, Seq: seq}, p.netPort)
+	p.ctx.System().Clock().AfterFunc(p.cfg.Interval, func() {
+		p.comp.SelfTrigger(tick{})
+	})
+}
+
+func (p *Pinger) onPong(pong *Pong) {
+	sent, ok := p.sentAt[pong.Seq]
+	if !ok {
+		return
+	}
+	delete(p.sentAt, pong.Seq)
+	rtt := p.ctx.System().Clock().Now().Sub(sent)
+	p.rtts.Add(rtt.Seconds())
+	p.received++
+	p.ctx.Trigger(RTTSample{Seq: pong.Seq, RTT: rtt}, p.pingPort)
+}
+
+// Ponger answers every Ping with a Pong over the same transport.
+type Ponger struct {
+	self    core.BasicAddress
+	ctx     *kompics.Context
+	netPort *kompics.Port
+}
+
+var _ kompics.Definition = (*Ponger)(nil)
+
+// NewPonger builds the component definition.
+func NewPonger(self core.BasicAddress) *Ponger {
+	return &Ponger{self: self}
+}
+
+// NetPort returns the required network port for wiring.
+func (p *Ponger) NetPort() *kompics.Port { return p.netPort }
+
+// Init implements kompics.Definition.
+func (p *Ponger) Init(ctx *kompics.Context) {
+	p.ctx = ctx
+	p.netPort = ctx.Requires(core.NetworkPort)
+	ctx.Subscribe(p.netPort, (*core.Msg)(nil), func(e kompics.Event) {
+		ping, ok := e.(*Ping)
+		if !ok {
+			return
+		}
+		reply := &Pong{
+			Src:   p.self,
+			Dst:   ping.Src,
+			Proto: ping.Proto,
+			Seq:   ping.Seq,
+		}
+		ctx.Trigger(reply, p.netPort)
+	})
+}

@@ -1,0 +1,191 @@
+package pingpong
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+func TestSerializationRoundTrip(t *testing.T) {
+	reg := core.NewRegistry()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	ping := &Ping{
+		Src:   core.MustParseAddress("10.0.0.1:1"),
+		Dst:   core.MustParseAddress("10.0.0.2:2"),
+		Proto: core.TCP,
+		Seq:   42,
+	}
+	pong := &Pong{
+		Src:   core.MustParseAddress("10.0.0.2:2"),
+		Dst:   core.MustParseAddress("10.0.0.1:1"),
+		Proto: core.TCP,
+		Seq:   42,
+	}
+	var buf bytes.Buffer
+	if err := reg.Encode(&buf, ping); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Encode(&buf, pong); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPing, ok := v1.(*Ping)
+	if !ok || gotPing.Seq != 42 || gotPing.Proto != core.TCP {
+		t.Fatalf("decoded ping = %#v", v1)
+	}
+	gotPong, ok := v2.(*Pong)
+	if !ok || gotPong.Seq != 42 {
+		t.Fatalf("decoded pong = %#v", v2)
+	}
+	if !gotPing.Header().Source().SameHostAs(ping.Src) {
+		t.Fatal("ping header corrupted")
+	}
+}
+
+func TestSerializersRejectWrongTypes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (pingSerializer{}).Serialize(&buf, 7); err == nil {
+		t.Fatal("pingSerializer accepted an int")
+	}
+	if err := (pongSerializer{}).Serialize(&buf, 7); err == nil {
+		t.Fatal("pongSerializer accepted an int")
+	}
+}
+
+// rttWatcher collects RTT samples from the ping port.
+type rttWatcher struct {
+	port *kompics.Port
+	comp *kompics.Component
+
+	mu      sync.Mutex
+	samples []RTTSample
+}
+
+type startPing struct{}
+
+func (w *rttWatcher) Init(ctx *kompics.Context) {
+	w.comp = ctx.Component()
+	w.port = ctx.Requires(PingPort)
+	ctx.Subscribe(w.port, RTTSample{}, func(e kompics.Event) {
+		w.mu.Lock()
+		w.samples = append(w.samples, e.(RTTSample))
+		w.mu.Unlock()
+	})
+	ctx.SubscribeSelf(startPing{}, func(kompics.Event) {
+		ctx.Trigger(StartPinging{}, w.port)
+	})
+}
+
+func (w *rttWatcher) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.samples)
+}
+
+func freeTestPort(t *testing.T) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for i := 0; i < 200; i++ {
+		p := 20000 + 2*rng.Intn(20000)
+		ok := true
+		for _, d := range []int{0, 1} {
+			l1, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", p+d))
+			if err != nil {
+				ok = false
+				break
+			}
+			l1.Close()
+			l2, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", p+d))
+			if err != nil {
+				ok = false
+				break
+			}
+			l2.Close()
+		}
+		if ok {
+			return p
+		}
+	}
+	t.Fatal("no free port")
+	return 0
+}
+
+func TestPingPongOverLoopback(t *testing.T) {
+	portA := freeTestPort(t)
+	portB := freeTestPort(t)
+	selfA := core.MustParseAddress(fmt.Sprintf("127.0.0.1:%d", portA))
+	selfB := core.MustParseAddress(fmt.Sprintf("127.0.0.1:%d", portB))
+
+	newNode := func(self core.BasicAddress) (*kompics.System, *core.Network) {
+		reg := core.NewRegistry()
+		if err := Register(reg); err != nil {
+			t.Fatal(err)
+		}
+		netDef, err := core.NewNetwork(core.NetworkConfig{Self: self, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := kompics.NewSystem()
+		t.Cleanup(sys.Shutdown)
+		c := sys.Create(netDef)
+		sys.Start(c)
+		return sys, netDef
+	}
+
+	sysA, netA := newNode(selfA)
+	sysB, netB := newNode(selfB)
+
+	pinger := NewPinger(PingerConfig{
+		Self: selfA, Dest: selfB, Proto: core.TCP,
+		Interval: 5 * time.Millisecond, Count: 10,
+	})
+	pingerComp := sysA.Create(pinger)
+	kompics.MustConnect(netA.Port(), pinger.NetPort())
+
+	ponger := NewPonger(selfB)
+	pongerComp := sysB.Create(ponger)
+	kompics.MustConnect(netB.Port(), ponger.NetPort())
+
+	watch := &rttWatcher{}
+	watchComp := sysA.Create(watch)
+	kompics.MustConnect(pinger.Port(), watch.port)
+
+	sysA.Start(pingerComp)
+	sysB.Start(pongerComp)
+	sysA.Start(watchComp)
+	watch.comp.SelfTrigger(startPing{})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && watch.count() < 10 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := watch.count(); got < 10 {
+		t.Fatalf("collected %d RTT samples, want 10", got)
+	}
+	watch.mu.Lock()
+	defer watch.mu.Unlock()
+	for _, s := range watch.samples {
+		if s.RTT <= 0 || s.RTT > 5*time.Second {
+			t.Fatalf("implausible RTT %v", s.RTT)
+		}
+	}
+	if pinger.RTTs().N() < 10 {
+		t.Fatalf("sample accessor has %d entries", pinger.RTTs().N())
+	}
+}

@@ -1,0 +1,201 @@
+// Package relay implements multi-hop message forwarding — the use case
+// the paper's Header interface design explicitly enables (§III-A,
+// listing 5): "messages that can be forwarded through multiple
+// intermediary hosts, but finally replied to directly".
+//
+// A RoutedMsg carries a core.RoutingHeader whose route lists the
+// remaining hops. Each Forwarder component advances the route and
+// re-sends; the final receiver sees the original sender as the source and
+// can reply directly, skipping the intermediaries. Every hop may use its
+// own transport (the Transport field travels with the message), so a
+// relay chain can mix TCP within datacentres and UDT between them.
+package relay
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+// RoutedMsg is a payload message with a multi-hop route.
+type RoutedMsg struct {
+	// Hdr routes the message; its Route lists the remaining hops.
+	Hdr core.RoutingHeader
+	// Payload is the opaque application content.
+	Payload []byte
+}
+
+var _ core.Msg = &RoutedMsg{}
+
+// Header implements core.Msg.
+func (m *RoutedMsg) Header() core.Header { return m.Hdr }
+
+// Size returns the payload length.
+func (m *RoutedMsg) Size() int { return len(m.Payload) }
+
+// WithWireProtocol implements the DATA interceptor contract so routed
+// messages can also ride the adaptive protocol.
+func (m *RoutedMsg) WithWireProtocol(t core.Transport) core.Msg {
+	dup := *m
+	dup.Hdr.Base = m.Hdr.Base.WithProtocol(t)
+	return &dup
+}
+
+// NewRoutedMsg builds a message from origin through hops (the last hop is
+// the final destination) over proto.
+func NewRoutedMsg(origin core.Address, hops []core.Address, proto core.Transport, payload []byte) (*RoutedMsg, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("relay: a routed message needs at least one hop")
+	}
+	return &RoutedMsg{
+		Hdr: core.RoutingHeader{
+			Base:  core.BasicHeader{Src: origin, Dst: hops[0], Proto: proto},
+			Route: &core.Route{Origin: origin, Hops: hops},
+		},
+		Payload: payload,
+	}, nil
+}
+
+// SerializerID is the routed message's wire identifier (middleware
+// range).
+const SerializerID codec.SerializerID = 3
+
+// MsgSerializer is the wire codec for RoutedMsg.
+type MsgSerializer struct{}
+
+var _ codec.Serializer = MsgSerializer{}
+
+// ID implements codec.Serializer.
+func (MsgSerializer) ID() codec.SerializerID { return SerializerID }
+
+// Serialize implements codec.Serializer.
+func (MsgSerializer) Serialize(w io.Writer, v interface{}) error {
+	m, ok := v.(*RoutedMsg)
+	if !ok {
+		return fmt.Errorf("relay: MsgSerializer cannot encode %T", v)
+	}
+	if err := core.WriteBasicHeader(w, m.Hdr.Base); err != nil {
+		return err
+	}
+	hops := 0
+	var origin core.Address
+	if m.Hdr.Route != nil {
+		hops = len(m.Hdr.Route.Hops)
+		origin = m.Hdr.Route.Origin
+	}
+	if err := codec.WriteUvarint(w, uint64(hops)); err != nil {
+		return err
+	}
+	if hops > 0 {
+		if err := core.WriteAddress(w, origin); err != nil {
+			return err
+		}
+		for _, h := range m.Hdr.Route.Hops {
+			if err := core.WriteAddress(w, h); err != nil {
+				return err
+			}
+		}
+	}
+	return codec.WriteBytes(w, m.Payload)
+}
+
+// Deserialize implements codec.Serializer.
+func (MsgSerializer) Deserialize(r io.Reader) (interface{}, error) {
+	base, err := core.ReadBasicHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	nHops, err := codec.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nHops > 1024 {
+		return nil, fmt.Errorf("relay: implausible hop count %d", nHops)
+	}
+	var route *core.Route
+	if nHops > 0 {
+		origin, err := core.ReadAddress(r)
+		if err != nil {
+			return nil, err
+		}
+		hops := make([]core.Address, 0, int(nHops))
+		for i := 0; i < int(nHops); i++ {
+			h, err := core.ReadAddress(r)
+			if err != nil {
+				return nil, err
+			}
+			hops = append(hops, h)
+		}
+		route = &core.Route{Origin: origin, Hops: hops}
+	}
+	payload, err := codec.ReadBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return &RoutedMsg{Hdr: core.RoutingHeader{Base: base, Route: route}, Payload: payload}, nil
+}
+
+// Register adds the relay serialiser to a registry.
+func Register(reg *codec.Registry) error {
+	return reg.Register(MsgSerializer{}, (*RoutedMsg)(nil))
+}
+
+// Forwarder relays routed messages that are not for this host: it
+// advances the route and re-sends towards the next hop. Messages whose
+// final hop is this host pass through untouched (the application behind
+// the same network port handles them).
+type Forwarder struct {
+	self core.Address
+
+	ctx     *kompics.Context
+	netPort *kompics.Port
+
+	// Forwarded counts relayed messages (observability).
+	forwarded int
+}
+
+var _ kompics.Definition = (*Forwarder)(nil)
+
+// NewForwarder builds a forwarder identified as self.
+func NewForwarder(self core.Address) *Forwarder {
+	return &Forwarder{self: self}
+}
+
+// NetPort returns the required network port for wiring.
+func (f *Forwarder) NetPort() *kompics.Port { return f.netPort }
+
+// Forwarded reports how many messages this node has relayed. Call after
+// quiescence or from a connected component.
+func (f *Forwarder) Forwarded() int { return f.forwarded }
+
+// Init implements kompics.Definition.
+func (f *Forwarder) Init(ctx *kompics.Context) {
+	f.ctx = ctx
+	f.netPort = ctx.Requires(core.NetworkPort)
+	ctx.Subscribe(f.netPort, (*core.Msg)(nil), func(e kompics.Event) {
+		m, ok := e.(*RoutedMsg)
+		if !ok {
+			return
+		}
+		f.onRouted(m)
+	})
+}
+
+func (f *Forwarder) onRouted(m *RoutedMsg) {
+	next, ok := m.Hdr.Advance()
+	if !ok {
+		// This host is the final destination; the application handles
+		// the message (it sees it on the same broadcast port).
+		return
+	}
+	// Only forward if the current hop actually addresses us — a
+	// mis-routed message is dropped (at-most-once, §III-B).
+	if !f.self.SameHostAs(m.Hdr.Destination()) {
+		return
+	}
+	f.forwarded++
+	f.ctx.Trigger(&RoutedMsg{Hdr: next, Payload: m.Payload}, f.netPort)
+}

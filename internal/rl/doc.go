@@ -1,0 +1,19 @@
+// Package rl implements the online reinforcement-learning machinery of
+// §II-C and §IV-C of the paper: an on-policy Sarsa(λ) control loop
+// (figure 3, after Sutton & Barto) with replacing eligibility traces, an
+// ε-greedy policy with linear decay, and three interchangeable value
+// estimators over discrete state/action spaces:
+//
+//   - Matrix: a plain Q(s,a) table. Converges slowly because every cell
+//     must be visited before greedy decisions are possible (figure 4).
+//   - Model: collapses Q(s,a) into V(s) using a known environment model
+//     M(s,a)→s′, shrinking the space to explore (figure 5).
+//   - Approx: like Model, but fills unvisited entries of V by fitting a
+//     quadratic to the values seen so far — exploiting the assumption
+//     that the reward over the protocol-ratio space is unimodal and
+//     roughly quadratic (figure 6). Learned values always win over
+//     approximated ones.
+//
+// The package is domain-agnostic; the data package binds it to the
+// protocol-ratio space.
+package rl

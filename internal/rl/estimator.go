@@ -1,0 +1,274 @@
+package rl
+
+import "fmt"
+
+// State indexes the discrete state space [0, States).
+type State int
+
+// Action indexes the discrete action space [0, Actions).
+type Action int
+
+// Model maps a state-action pair to the successor state. The transport
+// learner's model is M(s,a) = clamp(s+Δa) over the ratio grid.
+type Model func(State, Action) State
+
+// Estimator is a value-function backend for Sarsa(λ). Implementations own
+// both value storage and eligibility traces.
+type Estimator interface {
+	// Value returns the estimate for (s, a) and whether any estimate —
+	// learned or approximated — is available. Policies treat unavailable
+	// values as "make a random decision".
+	Value(s State, a Action) (float64, bool)
+	// Learned returns the estimate only if it is backed by actual
+	// observations. The TD update bootstraps exclusively on learned
+	// values: the paper's approximation "fills the gaps" for greedy
+	// decisions but never feeds back into the estimator itself.
+	Learned(s State, a Action) (float64, bool)
+	// Visit sets the replacing trace for (s, a) to one and clears the
+	// traces of sibling actions, per figure 3 lines 8–11.
+	Visit(s State, a Action)
+	// Apply adds step·e to every eligible entry, where step = α·δ.
+	Apply(step float64)
+	// Decay multiplies all eligibility traces by γλ.
+	Decay(gl float64)
+	// Reset clears values and traces.
+	Reset()
+}
+
+// traceEpsilon prunes negligible eligibility to keep updates cheap.
+const traceEpsilon = 1e-6
+
+// --- Matrix -------------------------------------------------------------------
+
+// Matrix is the default Q(s,a) table estimator of §IV-C3.
+type Matrix struct {
+	states, actions int
+	q               []float64
+	known           []bool
+	e               []float64
+}
+
+var _ Estimator = (*Matrix)(nil)
+
+// NewMatrix creates a table estimator over states×actions.
+func NewMatrix(states, actions int) *Matrix {
+	if states <= 0 || actions <= 0 {
+		panic(fmt.Sprintf("rl: invalid space %d×%d", states, actions))
+	}
+	n := states * actions
+	return &Matrix{
+		states:  states,
+		actions: actions,
+		q:       make([]float64, n),
+		known:   make([]bool, n),
+		e:       make([]float64, n),
+	}
+}
+
+func (m *Matrix) idx(s State, a Action) int { return int(s)*m.actions + int(a) }
+
+// Value implements Estimator.
+func (m *Matrix) Value(s State, a Action) (float64, bool) {
+	i := m.idx(s, a)
+	return m.q[i], m.known[i]
+}
+
+// Learned implements Estimator; for a table, identical to Value.
+func (m *Matrix) Learned(s State, a Action) (float64, bool) { return m.Value(s, a) }
+
+// Visit implements Estimator (replacing trace).
+func (m *Matrix) Visit(s State, a Action) {
+	base := int(s) * m.actions
+	for ai := 0; ai < m.actions; ai++ {
+		m.e[base+ai] = 0
+	}
+	m.e[m.idx(s, a)] = 1
+}
+
+// Apply implements Estimator.
+func (m *Matrix) Apply(step float64) {
+	for i, e := range m.e {
+		if e > traceEpsilon {
+			m.q[i] += step * e
+			m.known[i] = true
+		}
+	}
+}
+
+// Decay implements Estimator.
+func (m *Matrix) Decay(gl float64) {
+	for i := range m.e {
+		m.e[i] *= gl
+	}
+}
+
+// Reset implements Estimator.
+func (m *Matrix) Reset() {
+	for i := range m.q {
+		m.q[i], m.known[i], m.e[i] = 0, false, 0
+	}
+}
+
+// KnownCount reports how many state-action cells hold learned values —
+// the exploration-coverage metric behind figure 4's analysis.
+func (m *Matrix) KnownCount() int {
+	n := 0
+	for _, k := range m.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// --- ModelBased ----------------------------------------------------------------
+
+// ModelBased collapses Q(s,a) into V(s) via a known transition model
+// (§IV-C4): Q(s,a) = V(M(s,a)).
+type ModelBased struct {
+	states int
+	model  Model
+	v      []float64
+	known  []bool
+	e      []float64
+}
+
+var _ Estimator = (*ModelBased)(nil)
+
+// NewModelBased creates a state-value estimator over states entries.
+func NewModelBased(states int, model Model) *ModelBased {
+	if states <= 0 {
+		panic(fmt.Sprintf("rl: invalid state space %d", states))
+	}
+	if model == nil {
+		panic("rl: ModelBased requires a model")
+	}
+	return &ModelBased{
+		states: states,
+		model:  model,
+		v:      make([]float64, states),
+		known:  make([]bool, states),
+		e:      make([]float64, states),
+	}
+}
+
+// Value implements Estimator.
+func (m *ModelBased) Value(s State, a Action) (float64, bool) {
+	sp := m.model(s, a)
+	return m.v[sp], m.known[sp]
+}
+
+// Learned implements Estimator; identical to Value for the model-based
+// backend.
+func (m *ModelBased) Learned(s State, a Action) (float64, bool) { return m.Value(s, a) }
+
+// Visit implements Estimator: eligibility attaches to the successor state
+// whose value the visit informs.
+func (m *ModelBased) Visit(s State, a Action) {
+	m.e[m.model(s, a)] = 1
+}
+
+// Apply implements Estimator.
+func (m *ModelBased) Apply(step float64) {
+	for i, e := range m.e {
+		if e > traceEpsilon {
+			m.v[i] += step * e
+			m.known[i] = true
+		}
+	}
+}
+
+// Decay implements Estimator.
+func (m *ModelBased) Decay(gl float64) {
+	for i := range m.e {
+		m.e[i] *= gl
+	}
+}
+
+// Reset implements Estimator.
+func (m *ModelBased) Reset() {
+	for i := range m.v {
+		m.v[i], m.known[i], m.e[i] = 0, false, 0
+	}
+}
+
+// V returns the learned state value and whether it is backed by data.
+func (m *ModelBased) V(s State) (float64, bool) { return m.v[s], m.known[s] }
+
+// KnownCount reports how many states hold learned values.
+func (m *ModelBased) KnownCount() int {
+	n := 0
+	for _, k := range m.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Approx ---------------------------------------------------------------------
+
+// Approx extends ModelBased with quadratic value-function approximation
+// (§IV-C5): whenever at least two states hold learned values, unknown
+// states are extrapolated by a least-squares polynomial over the state
+// index. Learned values always take precedence over approximated ones.
+type Approx struct {
+	ModelBased
+}
+
+var _ Estimator = (*Approx)(nil)
+
+// NewApprox creates an approximating estimator.
+func NewApprox(states int, model Model) *Approx {
+	return &Approx{ModelBased: *NewModelBased(states, model)}
+}
+
+// Learned implements Estimator: only genuinely observed values qualify;
+// extrapolations are for the policy, never for TD targets.
+func (m *Approx) Learned(s State, a Action) (float64, bool) {
+	return m.ModelBased.Value(s, a)
+}
+
+// Value implements Estimator: a learned value if available, otherwise the
+// quadratic extrapolation when at least two learned points exist.
+func (m *Approx) Value(s State, a Action) (float64, bool) {
+	sp := m.model(s, a)
+	if m.known[sp] {
+		return m.v[sp], true
+	}
+	coeffs, ok := m.fit()
+	if !ok {
+		return 0, false
+	}
+	return evalPoly(coeffs, float64(sp)), true
+}
+
+// fit computes the least-squares polynomial (degree ≤ 2, limited by the
+// number of learned points) over the known entries of V.
+func (m *Approx) fit() ([]float64, bool) {
+	var xs, ys []float64
+	for i, k := range m.known {
+		if k {
+			xs = append(xs, float64(i))
+			ys = append(ys, m.v[i])
+		}
+	}
+	if len(xs) < 2 {
+		return nil, false
+	}
+	if len(xs) > 2 {
+		coeffs, err := PolyFit(xs, ys, 2)
+		// §IV-C5 assumes "the shape of a quadratic function with a
+		// single maximum": a parabola opening upwards violates the
+		// assumption, so fall back to the linear trend instead of
+		// extrapolating a spurious minimum.
+		if err == nil && coeffs[2] <= 0 {
+			return coeffs, true
+		}
+	}
+	coeffs, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		return nil, false
+	}
+	return coeffs, true
+}

@@ -1,0 +1,96 @@
+package rl
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the least-squares system has no unique
+// solution (e.g. all sample points share one x).
+var ErrSingular = errors.New("rl: singular least-squares system")
+
+// PolyFit computes least-squares polynomial coefficients c of the given
+// degree such that y ≈ c[0] + c[1]x + … + c[degree]x^degree, by solving
+// the normal equations with Gaussian elimination. Suited to the tiny
+// systems used here (degree ≤ 2 over ≤ a few dozen points).
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, errors.New("rl: negative polynomial degree")
+	}
+	if len(xs) != len(ys) {
+		return nil, errors.New("rl: mismatched sample lengths")
+	}
+	if len(xs) < degree+1 {
+		return nil, errors.New("rl: not enough samples for degree")
+	}
+	n := degree + 1
+
+	// Normal equations: (XᵀX) c = Xᵀy with X the Vandermonde matrix.
+	ata := make([][]float64, n)
+	aty := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	for k, x := range xs {
+		pow := make([]float64, n)
+		p := 1.0
+		for i := 0; i < n; i++ {
+			pow[i] = p
+			p *= x
+		}
+		for i := 0; i < n; i++ {
+			aty[i] += pow[i] * ys[k]
+			for j := 0; j < n; j++ {
+				ata[i][j] += pow[i] * pow[j]
+			}
+		}
+	}
+	return solveLinear(ata, aty)
+}
+
+// solveLinear solves Ax=b in place with partial pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// evalPoly evaluates the coefficient vector at x (Horner).
+func evalPoly(c []float64, x float64) float64 {
+	v := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		v = v*x + c[i]
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// EpsilonGreedy balances exploration and exploitation: with probability ε
+// it picks a uniformly random action, otherwise the best-valued one.
+// Following the paper (and simulated annealing), ε starts high and decays
+// linearly to a floor, one step per learning episode.
+type EpsilonGreedy struct {
+	eps, min, decay float64
+	rng             *rand.Rand
+}
+
+// NewEpsilonGreedy creates the policy with ε starting at max, decaying by
+// step per episode down to min.
+func NewEpsilonGreedy(max, min, step float64, rng *rand.Rand) *EpsilonGreedy {
+	if rng == nil {
+		panic("rl: EpsilonGreedy requires a random source")
+	}
+	return &EpsilonGreedy{eps: max, min: min, decay: step, rng: rng}
+}
+
+// Epsilon returns the current exploration probability.
+func (p *EpsilonGreedy) Epsilon() float64 { return p.eps }
+
+// DecayStep lowers ε by one decay step, clamped at the floor.
+func (p *EpsilonGreedy) DecayStep() {
+	p.eps -= p.decay
+	if p.eps < p.min {
+		p.eps = p.min
+	}
+}
+
+// Select picks an action in state s: explore with probability ε; exploit
+// the highest estimate otherwise. Greedy decisions require every candidate
+// action's value to be available — "it makes a random decision if the
+// value is uninitialised" (§IV-C3). This forced exploration of uncovered
+// cells is exactly why the 55-cell matrix backend converges so slowly
+// (figure 4) while value approximation, which makes all values available
+// after two samples, acts greedily almost immediately (figure 6). Ties
+// break uniformly at random.
+func (p *EpsilonGreedy) Select(s State, actions int, est Estimator) Action {
+	if p.rng.Float64() < p.eps {
+		return Action(p.rng.Intn(actions))
+	}
+	best := make([]Action, 0, actions)
+	bestV := 0.0
+	for a := 0; a < actions; a++ {
+		v, ok := est.Value(s, Action(a))
+		if !ok {
+			return Action(p.rng.Intn(actions))
+		}
+		switch {
+		case len(best) == 0 || v > bestV:
+			best = append(best[:0], Action(a))
+			bestV = v
+		case v == bestV:
+			best = append(best, Action(a))
+		}
+	}
+	if len(best) == 0 {
+		return Action(p.rng.Intn(actions))
+	}
+	return best[p.rng.Intn(len(best))]
+}
+
+// Config parameterises a Sarsa(λ) learner. The defaults mirror the
+// paper's figure 4 run where a zero value is ambiguous.
+type Config struct {
+	// States and Actions size the discrete spaces.
+	States, Actions int
+	// Alpha is the step size for value updates.
+	Alpha float64
+	// Gamma discounts the successor state-action value.
+	Gamma float64
+	// Lambda controls eligibility decay (0 = one-step TD, 1 = Monte
+	// Carlo).
+	Lambda float64
+	// EpsMax, EpsMin and EpsDecay parameterise the ε-greedy policy.
+	EpsMax, EpsMin, EpsDecay float64
+	// Estimator is the value backend; required.
+	Estimator Estimator
+	// Rand is the exploration source; required for determinism.
+	Rand *rand.Rand
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.States <= 0 || c.Actions <= 0:
+		return fmt.Errorf("rl: invalid space %d×%d", c.States, c.Actions)
+	case c.Estimator == nil:
+		return errors.New("rl: Config.Estimator is required")
+	case c.Rand == nil:
+		return errors.New("rl: Config.Rand is required")
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("rl: gamma %v out of [0,1]", c.Gamma)
+	case c.Lambda < 0 || c.Lambda > 1:
+		return fmt.Errorf("rl: lambda %v out of [0,1]", c.Lambda)
+	case c.EpsMax < c.EpsMin:
+		return fmt.Errorf("rl: εmax %v below εmin %v", c.EpsMax, c.EpsMin)
+	}
+	return nil
+}
+
+// Sarsa is the on-policy Sarsa(λ) control loop of figure 3. Drive it with
+// Start once and then Step per learning episode; each Step consumes the
+// reward observed for the previous action and returns the next one.
+type Sarsa struct {
+	cfg    Config
+	policy *EpsilonGreedy
+
+	s       State
+	a       Action
+	started bool
+	steps   int
+}
+
+// NewSarsa builds a learner from cfg.
+func NewSarsa(cfg Config) (*Sarsa, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sarsa{
+		cfg:    cfg,
+		policy: NewEpsilonGreedy(cfg.EpsMax, cfg.EpsMin, cfg.EpsDecay, cfg.Rand),
+	}, nil
+}
+
+// Start initialises the episode at s0 and returns the first action.
+func (l *Sarsa) Start(s0 State) Action {
+	l.s = s0
+	l.a = l.policy.Select(s0, l.cfg.Actions, l.cfg.Estimator)
+	l.started = true
+	return l.a
+}
+
+// Step observes the reward r for the last action, which moved the
+// environment to state sPrime, performs the Sarsa(λ) update, and returns
+// the next action to take.
+func (l *Sarsa) Step(r float64, sPrime State) Action {
+	if !l.started {
+		return l.Start(sPrime)
+	}
+	est := l.cfg.Estimator
+	aPrime := l.policy.Select(sPrime, l.cfg.Actions, est)
+
+	// TD targets bootstrap on learned values only; an unexplored
+	// successor contributes zero rather than a possibly wild
+	// extrapolation (approximations guide the policy, not the values).
+	qNext, _ := est.Learned(sPrime, aPrime)
+	q, known := est.Learned(l.s, l.a)
+	delta := r + l.cfg.Gamma*qNext - q
+
+	// First-visit updates take the full TD target (effective α = 1) so a
+	// freshly initialised estimate lands on the same scale as estimates
+	// that have converged through repeated visits; with α < 1 a first
+	// sample would start at half scale and lose greedy comparisons against
+	// well-visited states for many episodes.
+	step := l.cfg.Alpha * delta
+	if !known {
+		step = delta
+	}
+	est.Visit(l.s, l.a)                   // e(s,a) ← 1, siblings cleared
+	est.Apply(step)                       // Q ← Q + αδe
+	est.Decay(l.cfg.Gamma * l.cfg.Lambda) // e ← γλe
+
+	l.s, l.a = sPrime, aPrime
+	l.policy.DecayStep()
+	l.steps++
+	return aPrime
+}
+
+// Epsilon exposes the current exploration rate.
+func (l *Sarsa) Epsilon() float64 { return l.policy.Epsilon() }
+
+// Steps reports how many learning updates have been applied.
+func (l *Sarsa) Steps() int { return l.steps }
+
+// Estimator returns the value backend, e.g. for instrumentation.
+func (l *Sarsa) Estimator() Estimator { return l.cfg.Estimator }

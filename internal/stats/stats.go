@@ -1,0 +1,175 @@
+// Package stats provides the sample statistics used by the evaluation
+// (§V): sample mean with 95% confidence intervals, the relative-standard-
+// error stopping rule ("at least 10 runs, more until the RSE dropped below
+// 10% of the sample mean"), and percentile boxes for the selection-ratio
+// distributions of figure 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// RSE returns the relative standard error (standard error over mean).
+// Returns +Inf for a zero mean with nonzero spread.
+func (s *Sample) RSE() float64 {
+	m := s.Mean()
+	se := s.StdErr()
+	if se == 0 {
+		return 0
+	}
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(se / m)
+}
+
+// tTable holds two-sided 95% critical values of Student's t for small
+// degrees of freedom; beyond the table the normal value applies.
+var tTable = []float64{
+	// df: 1 .. 30
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% t value for df degrees of freedom.
+func tCritical95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// (Student's t). Zero for samples with fewer than two observations.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * s.StdErr()
+}
+
+// MeetsRSETarget implements the paper's stopping rule: at least minRuns
+// observations and RSE below target.
+func (s *Sample) MeetsRSETarget(minRuns int, target float64) bool {
+	return s.N() >= minRuns && s.RSE() < target
+}
+
+// String summarises the sample as "mean ± ci (n=..)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// Box is a five-number summary plus mean, as in figure 1's distribution
+// plots.
+type Box struct {
+	Min, P25, Median, P75, Max, Mean float64
+	N                                int
+}
+
+// NewBox computes a Box over xs (which it copies and sorts).
+func NewBox(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Box{
+		Min:    sorted[0],
+		P25:    percentileSorted(sorted, 0.25),
+		Median: percentileSorted(sorted, 0.50),
+		P75:    percentileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		N:      len(sorted),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

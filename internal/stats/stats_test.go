@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.N() != 0 || s.CI95() != 0 || s.RSE() != 0 {
+		t.Fatal("empty sample not all-zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Known population: sample stddev = sqrt(32/7).
+	if !approx(s.StdDev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+	if !approx(s.StdErr(), s.StdDev()/math.Sqrt(8), 1e-12) {
+		t.Fatalf("StdErr = %v", s.StdErr())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConstantSample(t *testing.T) {
+	var s Sample
+	for i := 0; i < 5; i++ {
+		s.Add(42)
+	}
+	if s.Variance() != 0 || s.CI95() != 0 || s.RSE() != 0 {
+		t.Fatal("constant sample has spread")
+	}
+}
+
+func TestRSEZeroMean(t *testing.T) {
+	var s Sample
+	s.Add(-1)
+	s.Add(1)
+	if !math.IsInf(s.RSE(), 1) {
+		t.Fatalf("RSE with zero mean = %v, want +Inf", s.RSE())
+	}
+}
+
+func TestCI95UsesTDistribution(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	// n=2 → df=1 → t=12.706; stderr = stddev/sqrt(2) = sqrt(2)/sqrt(2) = 1.
+	if !approx(s.CI95(), 12.706, 1e-9) {
+		t.Fatalf("CI95 = %v, want 12.706", s.CI95())
+	}
+	// Large sample converges to z=1.96.
+	var big Sample
+	for i := 0; i < 100; i++ {
+		big.Add(float64(i % 2))
+	}
+	want := 1.96 * big.StdErr()
+	if !approx(big.CI95(), want, 1e-9) {
+		t.Fatalf("large-sample CI95 = %v, want %v", big.CI95(), want)
+	}
+}
+
+func TestMeetsRSETarget(t *testing.T) {
+	var s Sample
+	for i := 0; i < 9; i++ {
+		s.Add(100)
+	}
+	if s.MeetsRSETarget(10, 0.1) {
+		t.Fatal("met target with fewer than minRuns")
+	}
+	s.Add(100)
+	if !s.MeetsRSETarget(10, 0.1) {
+		t.Fatal("constant sample with 10 runs does not meet target")
+	}
+	var noisy Sample
+	noisy.Add(1)
+	noisy.Add(1000)
+	for i := 0; i < 8; i++ {
+		noisy.Add(float64(1 + i*200))
+	}
+	if noisy.MeetsRSETarget(10, 0.1) {
+		t.Fatalf("wildly noisy sample (RSE %.2f) met 10%% target", noisy.RSE())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !approx(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%.2f) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+}
+
+func TestNewBox(t *testing.T) {
+	b := NewBox([]float64{5, 1, 3, 2, 4})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 || b.N != 5 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.P25 != 2 || b.P75 != 4 {
+		t.Fatalf("quartiles = %v, %v", b.P25, b.P75)
+	}
+	empty := NewBox(nil)
+	if empty.N != 0 {
+		t.Fatal("empty box has N > 0")
+	}
+}
+
+func TestNewBoxDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NewBox(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("NewBox sorted the caller's slice")
+	}
+}
+
+func TestPropertyBoxInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			// Bound magnitudes so the mean cannot overflow.
+			if !math.IsNaN(x) && math.Abs(x) < 1e15 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		b := NewBox(clean)
+		return b.Min <= b.P25 && b.P25 <= b.Median &&
+			b.Median <= b.P75 && b.P75 <= b.Max &&
+			b.Min <= b.Mean && b.Mean <= b.Max &&
+			b.N == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCIShrinksWithN(t *testing.T) {
+	// For a fixed-spread sample, more observations must not widen the CI.
+	f := func(seed uint8) bool {
+		var small, large Sample
+		for i := 0; i < 5; i++ {
+			small.Add(float64(i%2) + float64(seed))
+		}
+		for i := 0; i < 50; i++ {
+			large.Add(float64(i%2) + float64(seed))
+		}
+		return large.CI95() <= small.CI95()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// TestPeerDeathMidStreamThenRevival kills the receiving endpoint while a
+// stream of sends is in flight, then revives it on the same port: sends
+// during the outage must fail (at-most-once — never silently retried) and
+// sends after revival must flow again through a fresh channel.
+func TestPeerDeathMidStreamThenRevival(t *testing.T) {
+	sender := &collector{}
+	epA, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: sender.onMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+
+	// Receiver on a fixed port so it can be revived at the same address.
+	port := pickFreePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	recv1 := &collector{}
+	epB, err := NewEndpoint(Config{ListenAddr: addr, OnMessage: recv1.onMessage,
+		Protocols: []wire.Transport{wire.TCP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epB.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	okCh := make(chan error, 1)
+	epA.Send(wire.TCP, addr, []byte("before"), func(err error) { okCh <- err })
+	if err := <-okCh; err != nil {
+		t.Fatalf("send before outage: %v", err)
+	}
+	waitCount(t, recv1, 1)
+
+	// Kill the receiver.
+	epB.Close()
+
+	// Sends during the outage eventually fail (the first write may be
+	// buffered by the kernel before the RST arrives, so push until an
+	// error surfaces).
+	deadline := time.Now().Add(10 * time.Second)
+	failed := false
+	for time.Now().Before(deadline) && !failed {
+		errCh := make(chan error, 1)
+		epA.Send(wire.TCP, addr, []byte("during"), func(err error) { errCh <- err })
+		select {
+		case err := <-errCh:
+			failed = err != nil
+		case <-time.After(5 * time.Second):
+			t.Fatal("no notification during outage")
+		}
+	}
+	if !failed {
+		t.Fatal("sends to a dead peer never reported failure")
+	}
+
+	// Revive on the same port; a fresh send must establish a new channel.
+	recv2 := &collector{}
+	epB2, err := NewEndpoint(Config{ListenAddr: addr, OnMessage: recv2.onMessage,
+		Protocols: []wire.Transport{wire.TCP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epB2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer epB2.Close()
+
+	var sent bool
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !sent {
+		errCh := make(chan error, 1)
+		epA.Send(wire.TCP, addr, []byte("after"), func(err error) { errCh <- err })
+		sent = <-errCh == nil
+	}
+	if !sent {
+		t.Fatal("sends never recovered after revival")
+	}
+	waitCount(t, recv2, 1)
+}
+
+func pickFreePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// TestInboundGarbageFramesDropped feeds a raw TCP connection with garbage
+// and oversized frames: the endpoint must drop the connection without
+// disturbing other traffic.
+func TestInboundGarbageFramesDropped(t *testing.T) {
+	col := &collector{}
+	ep, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: col.onMessage,
+		Protocols: []wire.Transport{wire.TCP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// A frame header claiming 512 MB (over MaxFrame) must abort the
+	// connection.
+	rogue, err := net.Dial("tcp", ep.Addr(wire.TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Write([]byte{0x20, 0x00, 0x00, 0x00})
+	rogue.Write([]byte("some payload that will never complete"))
+	buf := make([]byte, 1)
+	rogue.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := rogue.Read(buf); err == nil {
+		t.Fatal("endpoint kept a connection after an oversized frame")
+	}
+	rogue.Close()
+
+	// Normal traffic still flows afterwards.
+	other := &collector{}
+	ep2, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: other.onMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ep2.Close()
+	done := make(chan error, 1)
+	ep2.Send(wire.TCP, ep.Addr(wire.TCP), []byte("legit"), func(err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("legit send failed after rogue connection: %v", err)
+	}
+	waitCount(t, col, 1)
+}
+
+// TestManyChannelsManyPeers exercises the channel registry with several
+// destinations concurrently.
+func TestManyChannelsManyPeers(t *testing.T) {
+	const peers = 5
+	sender := &collector{}
+	epA, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: sender.onMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+
+	cols := make([]*collector, peers)
+	addrs := make([]string, peers)
+	for i := range cols {
+		cols[i] = &collector{}
+		ep, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: cols[i].onMessage,
+			Protocols: []wire.Transport{wire.TCP}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		addrs[i] = ep.Addr(wire.TCP)
+	}
+
+	const per = 50
+	for round := 0; round < per; round++ {
+		for i := range addrs {
+			epA.Send(wire.TCP, addrs[i], []byte{byte(i), byte(round)}, nil)
+		}
+	}
+	for i, col := range cols {
+		waitCount(t, col, per)
+		for j, m := range col.all() {
+			if m[0] != byte(i) || m[1] != byte(j) {
+				t.Fatalf("peer %d message %d corrupted or out of order: %v", i, j, m)
+			}
+		}
+	}
+	epA.mu.Lock()
+	n := len(epA.channels)
+	epA.mu.Unlock()
+	if n != peers {
+		t.Fatalf("registry has %d channels, want %d", n, peers)
+	}
+}

@@ -1,0 +1,530 @@
+// Package transport implements the wire layer of the middleware — the role
+// Netty plays for the JVM implementation (§II-B): listeners and framed
+// streams for TCP and UDT, datagrams for UDP, and a registry of outgoing
+// channels created lazily per (destination, protocol) pair.
+//
+// Messages queue while a channel is being established ("messages delayed
+// until the requested channels are available", §III-C) and channels stay
+// open once created — the paper is deliberately conservative about
+// reclaiming them because re-establishment can be expensive.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/udt"
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// Errors returned through send notifications.
+var (
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrTooLarge reports a payload over the frame/datagram limit.
+	ErrTooLarge = errors.New("transport: payload too large")
+	// ErrUnsupported reports a protocol the endpoint does not listen on
+	// or cannot dial.
+	ErrUnsupported = errors.New("transport: unsupported protocol")
+)
+
+// maxUDPPayload bounds datagrams; IPv4 UDP caps near 65507 and we leave
+// room for middleware headers.
+const maxUDPPayload = 63 << 10
+
+// Config parameterises an Endpoint.
+type Config struct {
+	// ListenAddr is the base "host:port" to bind. The same port number
+	// is used for every enabled protocol (TCP, UDP and UDT can share a
+	// port number, as UDT runs over UDP).
+	ListenAddr string
+	// Protocols enables listeners; defaults to TCP, UDP and UDT.
+	Protocols []wire.Transport
+	// MaxFrame bounds a single message frame (default codec.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds outgoing connection establishment (default 5 s).
+	DialTimeout time.Duration
+	// UDTPortOffset shifts the UDT listener's port relative to
+	// ListenAddr, because raw UDP and UDT (which runs over UDP) cannot
+	// share one UDP port (default 1). Ignored when the listen port is 0
+	// (ephemeral; tests query Addr for the real binding). Dialers apply
+	// the same convention to destinations themselves — core.Network does
+	// so with its own UDTPortOffset setting.
+	UDTPortOffset int
+	// UDT tunes the UDT transport.
+	UDT udt.Config
+	// OnMessage receives every inbound payload; required before Start.
+	// Called from transport goroutines — implementations must be
+	// goroutine-safe and non-blocking.
+	OnMessage func(payload []byte)
+	// Logger receives connection-level diagnostics (default slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Protocols) == 0 {
+		c.Protocols = []wire.Transport{wire.TCP, wire.UDP, wire.UDT}
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = codec.DefaultMaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.UDTPortOffset == 0 {
+		c.UDTPortOffset = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Endpoint owns this host's listeners and outgoing channels. One Endpoint
+// backs one wire.Network component.
+type Endpoint struct {
+	cfg Config
+
+	tcpLn   net.Listener
+	udtLn   *udt.Listener
+	udpSock *net.UDPConn
+
+	mu       sync.Mutex
+	channels map[chanKey]*outChannel
+	inbound  map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type chanKey struct {
+	proto wire.Transport
+	dest  string
+}
+
+// NewEndpoint validates cfg and prepares an endpoint; call Start to bind.
+func NewEndpoint(cfg Config) (*Endpoint, error) {
+	if cfg.OnMessage == nil {
+		return nil, errors.New("transport: Config.OnMessage is required")
+	}
+	if cfg.ListenAddr == "" {
+		return nil, errors.New("transport: Config.ListenAddr is required")
+	}
+	for _, p := range cfg.Protocols {
+		if !p.Wire() {
+			return nil, fmt.Errorf("%w: %v", ErrUnsupported, p)
+		}
+	}
+	return &Endpoint{
+		cfg:      cfg.withDefaults(),
+		channels: make(map[chanKey]*outChannel),
+		inbound:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Start binds the configured listeners.
+func (e *Endpoint) Start() error {
+	for _, p := range e.cfg.Protocols {
+		var err error
+		switch p {
+		case wire.TCP:
+			err = e.startTCP()
+		case wire.UDP:
+			err = e.startUDP()
+		case wire.UDT:
+			err = e.startUDT()
+		}
+		if err != nil {
+			e.Close()
+			return fmt.Errorf("transport: starting %v listener: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Addr returns the bound address for proto, or the empty string when the
+// protocol is not listening. Useful with port 0 (ephemeral) in tests.
+func (e *Endpoint) Addr(proto wire.Transport) string {
+	switch proto {
+	case wire.TCP:
+		if e.tcpLn != nil {
+			return e.tcpLn.Addr().String()
+		}
+	case wire.UDP:
+		if e.udpSock != nil {
+			return e.udpSock.LocalAddr().String()
+		}
+	case wire.UDT:
+		if e.udtLn != nil {
+			return e.udtLn.Addr().String()
+		}
+	}
+	return ""
+}
+
+// Close tears down listeners and channels. Pending notifications fail with
+// ErrClosed.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	chans := make([]*outChannel, 0, len(e.channels))
+	for _, c := range e.channels {
+		chans = append(chans, c)
+	}
+	e.channels = map[chanKey]*outChannel{}
+	conns := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.inbound = map[net.Conn]struct{}{}
+	e.mu.Unlock()
+
+	for _, c := range conns {
+		c.Close()
+	}
+
+	if e.tcpLn != nil {
+		e.tcpLn.Close()
+	}
+	if e.udtLn != nil {
+		e.udtLn.Close()
+	}
+	if e.udpSock != nil {
+		e.udpSock.Close()
+	}
+	for _, c := range chans {
+		c.close(ErrClosed)
+	}
+	e.wg.Wait()
+}
+
+// Send queues payload for dest over proto. notify, if non-nil, is invoked
+// exactly once with the write outcome (nil after the payload reached the
+// socket — the middleware's at-most-once "sent" signal, not an
+// end-to-end acknowledgement).
+func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notify func(error)) {
+	fail := func(err error) {
+		if notify != nil {
+			notify(err)
+		}
+	}
+	if !proto.Wire() {
+		fail(fmt.Errorf("%w: %v", ErrUnsupported, proto))
+		return
+	}
+	if len(payload) > e.cfg.MaxFrame || (proto == wire.UDP && len(payload) > maxUDPPayload) {
+		fail(fmt.Errorf("%w: %d bytes over %v", ErrTooLarge, len(payload), proto))
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		fail(ErrClosed)
+		return
+	}
+	key := chanKey{proto: proto, dest: dest}
+	ch, ok := e.channels[key]
+	if !ok {
+		ch = newOutChannel(e, key)
+		e.channels[key] = ch
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			ch.run()
+		}()
+	}
+	e.mu.Unlock()
+	ch.enqueue(outMsg{payload: payload, notify: notify})
+}
+
+// dropChannel removes a failed channel so the next Send redials.
+func (e *Endpoint) dropChannel(key chanKey, ch *outChannel) {
+	e.mu.Lock()
+	if e.channels[key] == ch {
+		delete(e.channels, key)
+	}
+	e.mu.Unlock()
+}
+
+// --- listeners -----------------------------------------------------------------
+
+func (e *Endpoint) startTCP() error {
+	ln, err := net.Listen("tcp", e.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	e.tcpLn = ln
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				e.readFrames(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+func (e *Endpoint) startUDT() error {
+	addr, err := OffsetPort(e.cfg.ListenAddr, e.cfg.UDTPortOffset)
+	if err != nil {
+		return err
+	}
+	ln, err := udt.Listen(addr, e.cfg.UDT)
+	if err != nil {
+		return err
+	}
+	e.udtLn = ln
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				e.readFrames(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+func (e *Endpoint) startUDP() error {
+	addr, err := net.ResolveUDPAddr("udp", e.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	sock, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	e.udpSock = sock
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		buf := make([]byte, maxUDPPayload+1)
+		for {
+			n, _, err := sock.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if n == 0 || n > maxUDPPayload {
+				continue
+			}
+			payload := make([]byte, n)
+			copy(payload, buf[:n])
+			e.cfg.OnMessage(payload)
+		}
+	}()
+	return nil
+}
+
+// readFrames pumps length-prefixed frames from a stream connection to the
+// message callback until the stream ends or the endpoint closes.
+func (e *Endpoint) readFrames(conn net.Conn) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return
+	}
+	e.inbound[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		payload, err := codec.ReadFrame(conn, e.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		e.cfg.OnMessage(payload)
+	}
+}
+
+// --- outgoing channels -----------------------------------------------------------
+
+type outMsg struct {
+	payload []byte
+	notify  func(error)
+}
+
+// outChannel serialises writes to one (destination, protocol) pair on a
+// dedicated goroutine, dialing lazily on first use.
+type outChannel struct {
+	ep  *Endpoint
+	key chanKey
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []outMsg
+	closed bool
+	err    error
+}
+
+func newOutChannel(ep *Endpoint, key chanKey) *outChannel {
+	c := &outChannel{ep: ep, key: key}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *outChannel) enqueue(m outMsg) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if m.notify != nil {
+			m.notify(err)
+		}
+		return
+	}
+	c.queue = append(c.queue, m)
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// next blocks for the next message; ok=false means the channel closed.
+func (c *outChannel) next() (outMsg, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return outMsg{}, false
+	}
+	m := c.queue[0]
+	c.queue[0] = outMsg{}
+	c.queue = c.queue[1:]
+	return m, true
+}
+
+// close fails all queued messages and stops the run loop.
+func (c *outChannel) close(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	for _, m := range pending {
+		if m.notify != nil {
+			m.notify(err)
+		}
+	}
+}
+
+// run dials the destination and drains the queue; on a write error the
+// channel is dropped so a later Send re-establishes it.
+func (c *outChannel) run() {
+	conn, err := c.dial()
+	if err != nil {
+		c.ep.cfg.Logger.Warn("transport: dial failed",
+			"proto", c.key.proto.String(), "dest", c.key.dest, "err", err)
+		c.ep.dropChannel(c.key, c)
+		c.close(err)
+		return
+	}
+	if conn != nil {
+		defer conn.Close()
+	}
+	for {
+		m, ok := c.next()
+		if !ok {
+			return
+		}
+		err := c.write(conn, m.payload)
+		if m.notify != nil {
+			m.notify(err)
+		}
+		if err != nil {
+			c.ep.cfg.Logger.Warn("transport: write failed",
+				"proto", c.key.proto.String(), "dest", c.key.dest, "err", err)
+			c.ep.dropChannel(c.key, c)
+			c.close(err)
+			return
+		}
+	}
+}
+
+// dial opens the stream connection; UDP needs none (nil conn).
+func (c *outChannel) dial() (net.Conn, error) {
+	switch c.key.proto {
+	case wire.TCP:
+		return net.DialTimeout("tcp", c.key.dest, c.ep.cfg.DialTimeout)
+	case wire.UDT:
+		cfg := c.ep.cfg.UDT
+		if cfg.HandshakeTimeout <= 0 {
+			cfg.HandshakeTimeout = c.ep.cfg.DialTimeout
+		}
+		return udt.Dial(c.key.dest, cfg)
+	case wire.UDP:
+		if c.ep.udpSock != nil {
+			return nil, nil // send from the listening socket
+		}
+		return net.DialTimeout("udp", c.key.dest, c.ep.cfg.DialTimeout)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, c.key.proto)
+	}
+}
+
+func (c *outChannel) write(conn net.Conn, payload []byte) error {
+	if c.key.proto == wire.UDP {
+		if conn != nil {
+			_, err := conn.Write(payload)
+			return err
+		}
+		addr, err := net.ResolveUDPAddr("udp", c.key.dest)
+		if err != nil {
+			return err
+		}
+		_, err = c.ep.udpSock.WriteToUDP(payload, addr)
+		return err
+	}
+	return codec.WriteFrame(conn, payload, c.ep.cfg.MaxFrame)
+}
+
+// OffsetPort shifts the port of "host:port" by delta; port 0 (ephemeral)
+// is left untouched so tests can bind anywhere and query the real address.
+func OffsetPort(addr string, delta int) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: bad address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("transport: bad port in %q: %w", addr, err)
+	}
+	if port == 0 {
+		return addr, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+delta)), nil
+}

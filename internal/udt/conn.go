@@ -1,0 +1,746 @@
+package udt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// synInterval is UDT's fixed 10 ms control cadence: ACKs are emitted and
+// the sending rate re-evaluated once per interval.
+const synInterval = 10 * time.Millisecond
+
+// Config tunes a UDT connection. The zero value gets sensible defaults;
+// the paper's experiments raised buffer sizes from 12 MB to 100 MB for
+// high-BDP links, which corresponds to MaxFlowWindow/RcvBuffer here.
+type Config struct {
+	// MaxFlowWindow bounds unacknowledged packets in flight (default
+	// 8192 ≈ 11 MB of payload).
+	MaxFlowWindow int
+	// RcvBuffer bounds buffered packets on the receive side; also the
+	// window advertised to the peer (default 8192).
+	RcvBuffer int
+	// SndQueue bounds bytes accepted by Write but not yet transmitted
+	// (default 8 MB); full queues apply backpressure.
+	SndQueue int
+	// InitialRate is the starting send rate in bytes/second (default
+	// 1 MB/s).
+	InitialRate float64
+	// MaxRate caps the send rate in bytes/second; 0 means unlimited.
+	MaxRate float64
+	// Increase is the additive rate increase in bytes/second applied per
+	// SYN interval with loss-free feedback (default 256 KB).
+	Increase float64
+	// HandshakeTimeout bounds connection establishment (default 5 s).
+	HandshakeTimeout time.Duration
+	// LingerTimeout bounds how long Close waits for unsent data to drain
+	// (default 10 s).
+	LingerTimeout time.Duration
+	// LossInjector, when set, is consulted per outgoing data packet; a
+	// true result drops the packet before the socket. Test hook for
+	// exercising NAK/retransmission machinery deterministically.
+	LossInjector func() bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFlowWindow <= 0 {
+		c.MaxFlowWindow = 8192
+	}
+	if c.RcvBuffer <= 0 {
+		c.RcvBuffer = 8192
+	}
+	if c.SndQueue <= 0 {
+		c.SndQueue = 8 << 20
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = 1 << 20
+	}
+	if c.Increase <= 0 {
+		c.Increase = 256 << 10
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.LingerTimeout <= 0 {
+		c.LingerTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// minRate is the floor of the DAIMD controller in bytes/second.
+const minRate = 128 << 10
+
+// Errors returned by Conn operations.
+var (
+	// ErrClosed reports use of a closed connection.
+	ErrClosed = errors.New("udt: connection closed")
+	// ErrTimeout reports an expired deadline; it satisfies net.Error.
+	ErrTimeout = timeoutError{}
+)
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "udt: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Conn is a reliable, ordered byte stream over UDP implementing net.Conn.
+type Conn struct {
+	udp        *net.UDPConn
+	raddr      *net.UDPAddr
+	ownsSocket bool
+	onClose    func() // mux unregistration
+	cfg        Config
+
+	mu        sync.Mutex
+	readCond  *sync.Cond
+	writeCond *sync.Cond
+
+	// Sender state.
+	sndQueue      [][]byte
+	sndQueueBytes int
+	sndUnacked    map[uint32][]byte
+	lossList      []uint32
+	sndNextSeq    uint32
+	sndFirstUnack uint32
+	peerWindow    int
+	rate          float64
+
+	// Receiver state.
+	rcvNextSeq uint32
+	rcvLargest uint32 // next seq never seen (upper frontier)
+	rcvOOO     map[uint32][]byte
+	readBuf    []byte
+	lastAcked  uint32
+
+	// Lifecycle.
+	established   bool
+	establishedCh chan struct{}
+	closed        bool
+	peerClosed    bool
+	done          chan struct{}
+	wg            sync.WaitGroup
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	// kick wakes the pacing loop when new data is queued.
+	kick chan struct{}
+
+	// Stats (atomic access not needed: guarded by mu).
+	statRetransmits int
+	statNaksSent    int
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+func newConn(udp *net.UDPConn, raddr *net.UDPAddr, ownsSocket bool, cfg Config) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		udp:           udp,
+		raddr:         raddr,
+		ownsSocket:    ownsSocket,
+		cfg:           cfg,
+		sndUnacked:    make(map[uint32][]byte),
+		rcvOOO:        make(map[uint32][]byte),
+		peerWindow:    cfg.MaxFlowWindow,
+		rate:          cfg.InitialRate,
+		establishedCh: make(chan struct{}),
+		done:          make(chan struct{}),
+		kick:          make(chan struct{}, 1),
+	}
+	c.readCond = sync.NewCond(&c.mu)
+	c.writeCond = sync.NewCond(&c.mu)
+	return c
+}
+
+// start launches the sender and ACK loops once the handshake completed.
+func (c *Conn) start() {
+	c.wg.Add(2)
+	go c.senderLoop()
+	go c.ackLoop()
+}
+
+// --- net.Conn surface ---------------------------------------------------------
+
+// Read implements net.Conn: it returns buffered in-order bytes, blocking
+// until data arrives, the peer shuts down (io.EOF) or the read deadline
+// expires.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.readBuf) == 0 {
+		if c.closed {
+			return 0, ErrClosed
+		}
+		if c.peerClosed {
+			return 0, io.EOF
+		}
+		if !c.readDeadline.IsZero() && !time.Now().Before(c.readDeadline) {
+			return 0, ErrTimeout
+		}
+		c.waitRead()
+	}
+	n := copy(b, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	if len(c.readBuf) == 0 {
+		c.readBuf = nil // release the backing array
+	}
+	return n, nil
+}
+
+// waitRead blocks on readCond, arranging a wake-up at the deadline.
+func (c *Conn) waitRead() {
+	var t *time.Timer
+	if !c.readDeadline.IsZero() {
+		t = time.AfterFunc(time.Until(c.readDeadline), c.readCond.Broadcast)
+	}
+	c.readCond.Wait()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// Write implements net.Conn: it splits b into MSS-sized packets and queues
+// them for paced transmission, blocking while the send queue is full.
+func (c *Conn) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		chunk := b
+		if len(chunk) > mssPayload {
+			chunk = chunk[:mssPayload]
+		}
+		if err := c.queueChunk(chunk); err != nil {
+			return total, err
+		}
+		total += len(chunk)
+		b = b[len(chunk):]
+	}
+	c.kickSender()
+	return total, nil
+}
+
+func (c *Conn) queueChunk(chunk []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.sndQueueBytes >= c.cfg.SndQueue {
+		if c.closed || c.peerClosed {
+			return ErrClosed
+		}
+		if !c.writeDeadline.IsZero() && !time.Now().Before(c.writeDeadline) {
+			return ErrTimeout
+		}
+		c.waitWrite()
+	}
+	if c.closed || c.peerClosed {
+		return ErrClosed
+	}
+	dup := make([]byte, len(chunk))
+	copy(dup, chunk)
+	c.sndQueue = append(c.sndQueue, dup)
+	c.sndQueueBytes += len(dup)
+	return nil
+}
+
+func (c *Conn) waitWrite() {
+	var t *time.Timer
+	if !c.writeDeadline.IsZero() {
+		t = time.AfterFunc(time.Until(c.writeDeadline), c.writeCond.Broadcast)
+	}
+	c.writeCond.Wait()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (c *Conn) kickSender() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close implements net.Conn: it lingers until queued data drains (bounded
+// by LingerTimeout), notifies the peer and releases resources.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	// Linger: wait for the sender to flush queue and retransmissions.
+	deadline := time.Now().Add(c.cfg.LingerTimeout)
+	for !c.peerClosed && (len(c.sndQueue) > 0 || len(c.sndUnacked) > 0) && time.Now().Before(deadline) {
+		t := time.AfterFunc(50*time.Millisecond, c.writeCond.Broadcast)
+		c.writeCond.Wait()
+		t.Stop()
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	for i := 0; i < 3; i++ {
+		c.send([]byte{ctlShutdown})
+	}
+	close(c.done)
+	c.readCond.Broadcast()
+	c.writeCond.Broadcast()
+	if c.onClose != nil {
+		c.onClose()
+	}
+	if c.ownsSocket {
+		c.udp.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.udp.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	c.readCond.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	c.writeCond.Broadcast()
+	return nil
+}
+
+// Stats reports retransmission and NAK counters, for tests and metrics.
+func (c *Conn) Stats() (retransmits, naksSent int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statRetransmits, c.statNaksSent
+}
+
+// Rate reports the current DAIMD send rate in bytes/second.
+func (c *Conn) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
+
+// --- sender --------------------------------------------------------------------
+
+// senderLoop paces data packets: each SYN interval grants a byte budget of
+// rate·interval, spent on loss-list retransmissions first and then fresh
+// data, respecting the peer's flow window.
+func (c *Conn) senderLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(synInterval)
+	defer ticker.Stop()
+	buf := make([]byte, 0, dataHeaderLen+mssPayload)
+
+	var budget float64
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			budget = c.rate * synInterval.Seconds()
+			c.mu.Unlock()
+		case <-c.kick:
+			// Spend any remaining budget immediately; fresh budget
+			// arrives with the next tick.
+		}
+		for budget > 0 {
+			sent, n := c.sendOne(buf)
+			if !sent {
+				break
+			}
+			budget -= float64(n)
+		}
+	}
+}
+
+// sendOne transmits a single packet (retransmission first) and reports the
+// bytes consumed.
+func (c *Conn) sendOne(buf []byte) (bool, int) {
+	c.mu.Lock()
+	var seq uint32
+	var payload []byte
+	retransmit := false
+	for len(c.lossList) > 0 {
+		seq = c.lossList[0]
+		c.lossList = c.lossList[1:]
+		if p, ok := c.sndUnacked[seq]; ok {
+			payload = p
+			retransmit = true
+			break
+		}
+		// Already acknowledged since the NAK; skip.
+	}
+	if payload == nil {
+		inflight := int(int32(c.sndNextSeq - c.sndFirstUnack))
+		window := c.peerWindow
+		if window > c.cfg.MaxFlowWindow {
+			window = c.cfg.MaxFlowWindow
+		}
+		if len(c.sndQueue) == 0 || inflight >= window {
+			c.mu.Unlock()
+			return false, 0
+		}
+		payload = c.sndQueue[0]
+		c.sndQueue[0] = nil
+		c.sndQueue = c.sndQueue[1:]
+		c.sndQueueBytes -= len(payload)
+		seq = c.sndNextSeq
+		c.sndNextSeq++
+		c.sndUnacked[seq] = payload
+		c.writeCond.Broadcast()
+	} else {
+		c.statRetransmits++
+	}
+	drop := c.cfg.LossInjector != nil && c.cfg.LossInjector()
+	c.mu.Unlock()
+
+	n := dataHeaderLen + len(payload)
+	if !drop {
+		c.send(encodeData(buf, seq, payload))
+	}
+	_ = retransmit
+	return true, n
+}
+
+// send writes a raw packet to the peer; errors are ignored (UDP is
+// best-effort and reliability lives above).
+func (c *Conn) send(b []byte) {
+	if c.ownsSocket {
+		_, _ = c.udp.Write(b)
+		return
+	}
+	_, _ = c.udp.WriteToUDP(b, c.raddr)
+}
+
+// --- receiver / control --------------------------------------------------------
+
+// expTicks is how many SYN intervals without ACK progress trigger the EXP
+// timer: all unacknowledged packets go back on the loss list. This covers
+// tail loss, which gap-driven NAKs cannot detect (no later packet ever
+// arrives to reveal the gap).
+const expTicks = 10
+
+// ackLoop emits a cumulative ACK every SYN interval, re-NAKs stale gaps so
+// lost NAKs cannot stall the stream, and runs the sender's EXP timer.
+func (c *Conn) ackLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(synInterval)
+	defer ticker.Stop()
+	staleTicks := 0
+	expCounter := 0
+	lastUnack := uint32(0)
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		ackSeq := c.rcvNextSeq
+		window := c.advertisedWindow()
+		needAck := ackSeq != c.lastAcked || len(c.rcvOOO) > 0
+		c.lastAcked = ackSeq
+		var ranges []nakRange
+		if len(c.rcvOOO) > 0 {
+			staleTicks++
+			if staleTicks >= 4 {
+				ranges = c.missingRanges()
+				staleTicks = 0
+			}
+		} else {
+			staleTicks = 0
+		}
+		if len(ranges) > 0 {
+			c.statNaksSent++
+		}
+
+		// EXP timer: no ACK progress while data is in flight.
+		kick := false
+		if len(c.sndUnacked) > 0 {
+			if c.sndFirstUnack == lastUnack {
+				expCounter++
+			} else {
+				expCounter = 0
+			}
+			if expCounter >= expTicks && len(c.lossList) == 0 {
+				c.lossList = c.unackedSeqs()
+				c.rate = c.rate * 8 / 9
+				if c.rate < minRate {
+					c.rate = minRate
+				}
+				expCounter = 0
+				kick = true
+			}
+		} else {
+			expCounter = 0
+		}
+		lastUnack = c.sndFirstUnack
+		c.mu.Unlock()
+
+		if needAck {
+			c.send(encodeAck(ackSeq, uint32(window)))
+		}
+		if len(ranges) > 0 {
+			c.send(encodeNak(ranges))
+		}
+		if kick {
+			c.kickSender()
+		}
+	}
+}
+
+// unackedSeqs lists in-flight sequence numbers in send order. Caller
+// holds mu.
+func (c *Conn) unackedSeqs() []uint32 {
+	seqs := make([]uint32, 0, len(c.sndUnacked))
+	for seq := c.sndFirstUnack; seqLess(seq, c.sndNextSeq); seq++ {
+		if _, ok := c.sndUnacked[seq]; ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	return seqs
+}
+
+// advertisedWindow is the receive buffer space in packets. Caller holds mu.
+func (c *Conn) advertisedWindow() int {
+	used := len(c.rcvOOO) + len(c.readBuf)/mssPayload
+	w := c.cfg.RcvBuffer - used
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// missingRanges lists the gaps between rcvNextSeq and the receive
+// frontier. Caller holds mu.
+func (c *Conn) missingRanges() []nakRange {
+	var ranges []nakRange
+	var cur *nakRange
+	for seq := c.rcvNextSeq; seqLess(seq, c.rcvLargest); seq++ {
+		if _, ok := c.rcvOOO[seq]; ok {
+			cur = nil
+			continue
+		}
+		if cur == nil {
+			ranges = append(ranges, nakRange{from: seq, to: seq})
+			cur = &ranges[len(ranges)-1]
+		} else {
+			cur.to = seq
+		}
+	}
+	return ranges
+}
+
+// handlePacket processes one raw datagram for this connection. Called from
+// the owning mux's read loop; b is only valid for the duration of the
+// call.
+func (c *Conn) handlePacket(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	switch {
+	case b[0] == pktData:
+		c.handleData(b)
+	case b[0] == ctlAck:
+		c.handleAck(b)
+	case b[0] == ctlNak:
+		c.handleNak(b)
+	case b[0] == ctlShutdown:
+		c.handleShutdown()
+	case b[0] == ctlHsAck:
+		c.handleHsAck(b)
+	case b[0] == ctlHandshake:
+		// Peer retransmitted its handshake: re-acknowledge.
+		c.mu.Lock()
+		seq := c.sndNextSeq
+		window := uint32(c.advertisedWindow())
+		c.mu.Unlock()
+		c.send(encodeHandshake(ctlHsAck, seq, window))
+	case b[0] == ctlKeepalive:
+		// Nothing to do.
+	default:
+		// Unknown packet: drop.
+	}
+}
+
+func (c *Conn) handleData(b []byte) {
+	seq, payload, err := decodeData(b)
+	if err != nil {
+		return
+	}
+	var gap *nakRange
+	c.mu.Lock()
+	switch {
+	case seqLess(seq, c.rcvNextSeq):
+		// Duplicate of already-delivered data; the periodic ACK covers it.
+	case int(int32(seq-c.rcvNextSeq)) >= c.cfg.RcvBuffer:
+		// Beyond our buffer: drop; flow control should prevent this.
+	default:
+		// rcvLargest is the upper frontier: the lowest seq never seen.
+		// Arrivals beyond it leave a gap [rcvLargest, seq-1] that is
+		// NAKed immediately (UDT's fast loss report).
+		if seqLess(c.rcvLargest, seq) {
+			g := nakRange{from: c.rcvLargest, to: seq - 1}
+			if seqLeq(g.from, g.to) {
+				gap = &g
+			}
+		}
+		if seqLeq(c.rcvLargest, seq) {
+			c.rcvLargest = seq + 1
+		}
+		if _, dup := c.rcvOOO[seq]; !dup {
+			buf := make([]byte, len(payload))
+			copy(buf, payload)
+			c.rcvOOO[seq] = buf
+			c.drainContiguous()
+		}
+	}
+	if gap != nil {
+		c.statNaksSent++
+	}
+	c.mu.Unlock()
+	if gap != nil {
+		c.send(encodeNak([]nakRange{*gap}))
+	}
+}
+
+// drainContiguous moves in-order packets from the out-of-order buffer into
+// the read buffer. Caller holds mu.
+func (c *Conn) drainContiguous() {
+	moved := false
+	for {
+		p, ok := c.rcvOOO[c.rcvNextSeq]
+		if !ok {
+			break
+		}
+		delete(c.rcvOOO, c.rcvNextSeq)
+		c.readBuf = append(c.readBuf, p...)
+		c.rcvNextSeq++
+		moved = true
+	}
+	if seqLess(c.rcvLargest, c.rcvNextSeq) {
+		c.rcvLargest = c.rcvNextSeq
+	}
+	if moved {
+		c.readCond.Broadcast()
+	}
+}
+
+func (c *Conn) handleAck(b []byte) {
+	ackSeq, window, err := decodeAck(b)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if seqLess(c.sndFirstUnack, ackSeq) || ackSeq == c.sndNextSeq {
+		for seq := c.sndFirstUnack; seqLess(seq, ackSeq); seq++ {
+			delete(c.sndUnacked, seq)
+		}
+		c.sndFirstUnack = ackSeq
+		// DAIMD additive increase on progress.
+		c.rate += c.cfg.Increase
+		if c.cfg.MaxRate > 0 && c.rate > c.cfg.MaxRate {
+			c.rate = c.cfg.MaxRate
+		}
+		c.writeCond.Broadcast()
+	}
+	c.peerWindow = int(window)
+	c.mu.Unlock()
+	c.kickSender()
+}
+
+func (c *Conn) handleNak(b []byte) {
+	ranges, err := decodeNak(b)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	for _, r := range ranges {
+		for seq := r.from; seqLeq(seq, r.to); seq++ {
+			if _, ok := c.sndUnacked[seq]; ok && !c.inLossList(seq) {
+				c.lossList = append(c.lossList, seq)
+			}
+		}
+	}
+	// DAIMD multiplicative decrease.
+	c.rate = c.rate * 8 / 9
+	if c.rate < minRate {
+		c.rate = minRate
+	}
+	c.mu.Unlock()
+	c.kickSender()
+}
+
+// inLossList reports whether seq is already scheduled for retransmission.
+// Caller holds mu. Loss lists are short (one NAK's worth), so linear scan
+// suffices.
+func (c *Conn) inLossList(seq uint32) bool {
+	for _, s := range c.lossList {
+		if s == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Conn) handleShutdown() {
+	c.mu.Lock()
+	c.peerClosed = true
+	c.mu.Unlock()
+	c.readCond.Broadcast()
+	c.writeCond.Broadcast()
+}
+
+func (c *Conn) handleHsAck(b []byte) {
+	initialSeq, window, err := decodeHandshake(b)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.established {
+		c.established = true
+		c.rcvNextSeq = initialSeq
+		c.rcvLargest = initialSeq
+		c.peerWindow = int(window)
+		close(c.establishedCh)
+	}
+	c.mu.Unlock()
+}
+
+// completeAccept initialises receiver state on the listener side from the
+// client's handshake.
+func (c *Conn) completeAccept(clientSeq uint32, window uint32) {
+	c.mu.Lock()
+	if !c.established {
+		c.established = true
+		c.rcvNextSeq = clientSeq
+		c.rcvLargest = clientSeq
+		c.peerWindow = int(window)
+		close(c.establishedCh)
+	}
+	c.mu.Unlock()
+}
+
+var errHandshakeTimeout = fmt.Errorf("udt: handshake timed out")

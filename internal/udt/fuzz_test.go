@@ -1,0 +1,47 @@
+package udt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyHandlePacketNeverPanics feeds arbitrary datagrams into a
+// live connection's packet handler — hostile or corrupt traffic must be
+// dropped, never crash the transport.
+func TestPropertyHandlePacketNeverPanics(t *testing.T) {
+	client, _, cleanup := pair(t, Config{})
+	defer cleanup()
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("handlePacket panicked on %v: %v", b, r)
+				ok = false
+			}
+		}()
+		client.handlePacket(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecodersNeverPanic covers the packet codecs directly.
+func TestPropertyDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("decoder panicked on %v: %v", b, r)
+				ok = false
+			}
+		}()
+		_, _, _ = decodeData(b)
+		_, _, _ = decodeHandshake(b)
+		_, _, _ = decodeAck(b)
+		_, _ = decodeNak(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package udt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxDatagram bounds received datagram size; larger packets are truncated
+// by the kernel anyway for our MTU-sized sends.
+const maxDatagram = 2048
+
+// Listener accepts UDT connections on a UDP port, demultiplexing datagrams
+// to per-peer connections. It implements net.Listener.
+type Listener struct {
+	udp *net.UDPConn
+	cfg Config
+
+	mu       sync.Mutex
+	conns    map[string]*Conn
+	acceptCh chan *Conn
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen starts a UDT listener on the given UDP address ("host:port").
+func Listen(addr string, cfg Config) (*Listener, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udt: resolve %q: %w", addr, err)
+	}
+	sock, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("udt: listen %q: %w", addr, err)
+	}
+	tuneSocket(sock)
+	l := &Listener{
+		udp:      sock,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[string]*Conn),
+		acceptCh: make(chan *Conn, 16),
+		done:     make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.readLoop()
+	return l, nil
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.udp.LocalAddr() }
+
+// Close implements net.Listener: it stops accepting and closes every
+// connection.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+
+	close(l.done)
+	l.udp.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Listener) readLoop() {
+	defer l.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, raddr, err := l.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n == 0 {
+			continue
+		}
+		l.dispatch(buf[:n], raddr)
+	}
+}
+
+func (l *Listener) dispatch(b []byte, raddr *net.UDPAddr) {
+	key := raddr.String()
+	l.mu.Lock()
+	conn, ok := l.conns[key]
+	if !ok {
+		if b[0] != ctlHandshake || l.closed {
+			l.mu.Unlock()
+			return // stray packet for an unknown peer
+		}
+		clientSeq, window, err := decodeHandshake(b)
+		if err != nil {
+			l.mu.Unlock()
+			return
+		}
+		conn = newConn(l.udp, raddr, false, l.cfg)
+		conn.sndNextSeq = randomInitialSeq()
+		conn.sndFirstUnack = conn.sndNextSeq
+		conn.lastAcked = clientSeq
+		conn.onClose = func() { l.forget(key) }
+		conn.completeAccept(clientSeq, window)
+		l.conns[key] = conn
+		l.mu.Unlock()
+
+		conn.send(encodeHandshake(ctlHsAck, conn.sndNextSeq, uint32(conn.cfg.RcvBuffer)))
+		conn.start()
+		select {
+		case l.acceptCh <- conn:
+		case <-l.done:
+			conn.Close()
+		}
+		return
+	}
+	l.mu.Unlock()
+	conn.handlePacket(b)
+}
+
+func (l *Listener) forget(key string) {
+	l.mu.Lock()
+	delete(l.conns, key)
+	l.mu.Unlock()
+}
+
+// Dial connects to a UDT listener at addr ("host:port").
+func Dial(addr string, cfg Config) (*Conn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udt: resolve %q: %w", addr, err)
+	}
+	sock, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("udt: dial %q: %w", addr, err)
+	}
+	tuneSocket(sock)
+	conn := newConn(sock, raddr, true, cfg)
+	conn.sndNextSeq = randomInitialSeq()
+	conn.sndFirstUnack = conn.sndNextSeq
+
+	// The client-side read loop lives until the socket closes (on
+	// conn.Close, or below on handshake failure).
+	go func() {
+		buf := make([]byte, maxDatagram)
+		for {
+			n, err := sock.Read(buf)
+			if n > 0 {
+				conn.handlePacket(buf[:n])
+			}
+			if err != nil {
+				// A connected UDP socket surfaces ICMP port-unreachable
+				// as ECONNREFUSED when our handshake raced the peer's
+				// bind; that is transient — the handshake retries. Only
+				// a closed socket ends the loop.
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue
+			}
+		}
+	}()
+
+	// Handshake with retry.
+	hs := encodeHandshake(ctlHandshake, conn.sndNextSeq, uint32(conn.cfg.RcvBuffer))
+	deadline := time.Now().Add(conn.cfg.HandshakeTimeout)
+	established := false
+	for time.Now().Before(deadline) {
+		conn.send(hs)
+		select {
+		case <-conn.establishedCh:
+			established = true
+		case <-time.After(100 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	if !established {
+		sock.Close()
+		return nil, errHandshakeTimeout
+	}
+	conn.start()
+	return conn, nil
+}
+
+// randomInitialSeq avoids colliding sequence spaces between connections.
+func randomInitialSeq() uint32 {
+	return rand.Uint32() >> 1 // keep distance from wraparound in tests
+}
+
+// ErrListenerClosed reports Accept on a closed listener.
+var ErrListenerClosed = errors.New("udt: listener closed")
+
+// tuneSocket enlarges kernel buffers: UDT bursts many datagrams per SYN
+// interval and small default buffers drop tails of bursts. Mirrors the
+// paper's tuning of UDT buffer sizes for high-BDP links; best-effort
+// (the kernel may clamp to its rmem/wmem limits).
+func tuneSocket(sock *net.UDPConn) {
+	const want = 8 << 20
+	_ = sock.SetReadBuffer(want)
+	_ = sock.SetWriteBuffer(want)
+}

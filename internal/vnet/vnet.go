@@ -1,0 +1,217 @@
+// Package vnet implements virtual nodes (§III-B): multiple addressable
+// Kompics subtrees ("vnodes") behind one network endpoint. A vnode address
+// is a host address plus an opaque identifier; messages between vnodes on
+// the same host are reflected by the network component without
+// serialisation, and a VirtualNetworkChannel — realised here as channel
+// selectors — delivers each message only to its destination vnode.
+package vnet
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+// Identified is implemented by addresses carrying a vnode identifier.
+type Identified interface {
+	core.Address
+	// VNodeID returns the vnode identifier; empty means "the host
+	// itself".
+	VNodeID() []byte
+}
+
+// Address is a host endpoint plus a vnode identifier. It satisfies
+// core.Address; SameHostAs deliberately ignores the ID, which is what
+// makes the network component reflect intra-host vnode traffic locally.
+type Address struct {
+	// Host is the underlying network endpoint.
+	Host core.BasicAddress
+	// ID identifies the vnode within the host.
+	ID []byte
+}
+
+var _ Identified = Address{}
+
+// NewAddress builds a vnode address. The id slice is copied.
+func NewAddress(host core.BasicAddress, id []byte) Address {
+	dup := make([]byte, len(id))
+	copy(dup, id)
+	return Address{Host: host, ID: dup}
+}
+
+// IP implements core.Address.
+func (a Address) IP() net.IP { return a.Host.IP() }
+
+// Port implements core.Address.
+func (a Address) Port() int { return a.Host.Port() }
+
+// AsSocket implements core.Address.
+func (a Address) AsSocket() string { return a.Host.AsSocket() }
+
+// SameHostAs implements core.Address (host comparison only).
+func (a Address) SameHostAs(other core.Address) bool { return a.Host.SameHostAs(other) }
+
+// VNodeID implements Identified.
+func (a Address) VNodeID() []byte { return a.ID }
+
+// SameVNodeAs reports whether other denotes the same vnode on the same
+// host.
+func (a Address) SameVNodeAs(other Identified) bool {
+	return a.SameHostAs(other) && bytes.Equal(a.ID, other.VNodeID())
+}
+
+// String implements fmt.Stringer.
+func (a Address) String() string {
+	if len(a.ID) == 0 {
+		return a.Host.String()
+	}
+	return fmt.Sprintf("%s/%s", a.Host, hex.EncodeToString(a.ID))
+}
+
+// Msg is a payload message between vnodes. It implements core.Msg and the
+// DATA interceptor's ProtocolReplaceable contract.
+type Msg struct {
+	Src, Dst Address
+	Proto    core.Transport
+	Payload  []byte
+}
+
+var _ core.Msg = &Msg{}
+
+// Header implements core.Msg.
+func (m *Msg) Header() core.Header { return header{m: m} }
+
+// Size returns the payload length.
+func (m *Msg) Size() int { return len(m.Payload) }
+
+// WithWireProtocol implements data.ProtocolReplaceable.
+func (m *Msg) WithWireProtocol(t core.Transport) core.Msg {
+	return &Msg{Src: m.Src, Dst: m.Dst, Proto: t, Payload: m.Payload}
+}
+
+// header is the Header view of a Msg.
+type header struct{ m *Msg }
+
+var _ core.Header = header{}
+
+func (h header) Source() core.Address      { return h.m.Src }
+func (h header) Destination() core.Address { return h.m.Dst }
+func (h header) Protocol() core.Transport  { return h.m.Proto }
+
+// SerializerID is the wire identifier of the vnet message serialiser
+// (within the middleware-reserved range).
+const SerializerID codec.SerializerID = 2
+
+// MsgSerializer is the wire codec for vnet messages.
+type MsgSerializer struct{}
+
+var _ codec.Serializer = MsgSerializer{}
+
+// ID implements codec.Serializer.
+func (MsgSerializer) ID() codec.SerializerID { return SerializerID }
+
+// Serialize implements codec.Serializer.
+func (MsgSerializer) Serialize(w io.Writer, v interface{}) error {
+	m, ok := v.(*Msg)
+	if !ok {
+		return fmt.Errorf("vnet: MsgSerializer cannot encode %T", v)
+	}
+	if err := writeAddress(w, m.Src); err != nil {
+		return err
+	}
+	if err := writeAddress(w, m.Dst); err != nil {
+		return err
+	}
+	if err := codec.WriteUvarint(w, uint64(m.Proto)); err != nil {
+		return err
+	}
+	return codec.WriteBytes(w, m.Payload)
+}
+
+// Deserialize implements codec.Serializer.
+func (MsgSerializer) Deserialize(r io.Reader) (interface{}, error) {
+	src, err := readAddress(r)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := readAddress(r)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := codec.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	t := core.Transport(proto)
+	if !t.Valid() {
+		return nil, fmt.Errorf("vnet: invalid transport %d on wire", proto)
+	}
+	payload, err := codec.ReadBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Msg{Src: src, Dst: dst, Proto: t, Payload: payload}, nil
+}
+
+func writeAddress(w io.Writer, a Address) error {
+	if err := core.WriteAddress(w, a.Host); err != nil {
+		return err
+	}
+	return codec.WriteBytes(w, a.ID)
+}
+
+func readAddress(r io.Reader) (Address, error) {
+	host, err := core.ReadAddress(r)
+	if err != nil {
+		return Address{}, err
+	}
+	id, err := codec.ReadBytes(r)
+	if err != nil {
+		return Address{}, err
+	}
+	return Address{Host: host, ID: id}, nil
+}
+
+// Register adds the vnet serialisers to a registry (call once per
+// registry at setup).
+func Register(reg *codec.Registry) error {
+	return reg.Register(MsgSerializer{}, (*Msg)(nil))
+}
+
+// Selector returns a channel selector passing network indications
+// addressed to the vnode id — the VirtualNetworkChannel of the paper.
+// Notification responses always pass (they carry no destination).
+func Selector(id []byte) kompics.ChannelSelector {
+	dup := make([]byte, len(id))
+	copy(dup, id)
+	return func(e kompics.Event) bool {
+		msg, ok := e.(core.Msg)
+		if !ok {
+			return true // NotifyResp and friends pass through
+		}
+		ident, ok := msg.Header().Destination().(Identified)
+		if !ok {
+			return false // plain host traffic is not for a vnode
+		}
+		return bytes.Equal(ident.VNodeID(), dup)
+	}
+}
+
+// HostSelector passes network indications that are NOT addressed to any
+// vnode — the default channel for plain host traffic.
+func HostSelector() kompics.ChannelSelector {
+	return func(e kompics.Event) bool {
+		msg, ok := e.(core.Msg)
+		if !ok {
+			return true
+		}
+		ident, ok := msg.Header().Destination().(Identified)
+		return !ok || len(ident.VNodeID()) == 0
+	}
+}

@@ -1,0 +1,47 @@
+// Package wire declares the transport-protocol enumeration shared by the
+// middleware core and the socket layer. It is a leaf package so that both
+// can import it without cycles.
+package wire
+
+import "fmt"
+
+// Transport selects the network protocol a message travels over. It is
+// carried in every message header, giving per-message protocol control —
+// the paper's central API idea.
+type Transport int
+
+// Supported transports. DATA is the pseudo-protocol of §IV: an adaptive
+// interceptor rewrites it to TCP or UDT per message at runtime.
+const (
+	UDP Transport = iota + 1
+	TCP
+	UDT
+	DATA
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case UDP:
+		return "UDP"
+	case TCP:
+		return "TCP"
+	case UDT:
+		return "UDT"
+	case DATA:
+		return "DATA"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the declared transports.
+func (t Transport) Valid() bool {
+	return t >= UDP && t <= DATA
+}
+
+// Wire reports whether t is a concrete wire protocol (resolvable without
+// the DATA interceptor).
+func (t Transport) Wire() bool {
+	return t == UDP || t == TCP || t == UDT
+}
