@@ -1,0 +1,34 @@
+# KompicsMessaging-go build targets.
+#
+#   make check          vet + build + race-enabled tests (the CI gate)
+#   make test           plain test run (tier-1 verify)
+#   make bench-hotpath  rerun the wire hot-path benchmarks and refresh the
+#                       "current" section of BENCH_hotpath.json
+#   make bench          full benchmark sweep (figures + ablations)
+
+GO ?= go
+
+HOTPATH_PKGS = ./internal/core/ ./internal/transport/
+HOTPATH_OUT  = BENCH_hotpath.out
+
+.PHONY: check test build vet bench bench-hotpath
+
+check:
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+bench-hotpath:
+	$(GO) test -bench WirePath -run '^$$' -benchmem $(HOTPATH_PKGS) | tee $(HOTPATH_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_hotpath.json < $(HOTPATH_OUT)
+	@rm -f $(HOTPATH_OUT)
+
+bench:
+	$(GO) test -bench . -benchmem

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a section of BENCH_hotpath.json (or any bench-results file),
+// preserving the other sections. The file keeps a frozen "baseline"
+// section (the pre-optimisation numbers) next to a regenerated "current"
+// section so regressions are visible in review:
+//
+//	go test -bench WirePath -run '^$' -benchmem ./... | benchjson -label current -out BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result holds one benchmark line's parsed metrics.
+type result struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	MBPerS        float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	Iterations    int64   `json:"iterations"`
+	parsedAnyUnit bool
+}
+
+type section struct {
+	Date    string            `json:"date"`
+	Note    string            `json:"note,omitempty"`
+	Results map[string]result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "current", "section of the JSON file to replace")
+	out := flag.String("out", "BENCH_hotpath.json", "JSON file to update in place")
+	note := flag.String("note", "", "free-form note stored with the section")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	sec := section{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Note:    *note,
+		Results: results,
+	}
+	raw, err := json.MarshalIndent(sec, "  ", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc[*label] = raw
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s[%q]\n", len(results), *out, *label)
+}
+
+// parseBench extracts Benchmark lines of the form
+//
+//	BenchmarkName/sub-8  1000  1234 ns/op  56.78 MB/s  90 B/op  3 allocs/op
+func parseBench(f *os.File) (map[string]result, error) {
+	results := map[string]result{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Trim the -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r result
+		r.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+				r.parsedAnyUnit = true
+			case "MB/s":
+				r.MBPerS, _ = strconv.ParseFloat(val, 64)
+				r.parsedAnyUnit = true
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+				r.parsedAnyUnit = true
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+				r.parsedAnyUnit = true
+			}
+		}
+		if r.parsedAnyUnit {
+			results[name] = r
+		}
+	}
+	return results, sc.Err()
+}

@@ -1,0 +1,144 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLengthAndCapacity(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 1 << minShift},
+		{1, 1 << minShift},
+		{512, 512},
+		{513, 1024},
+		{64 << 10, 64 << 10},
+		{(64 << 10) + 1, 128 << 10},
+		{1 << maxShift, 1 << maxShift},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Errorf("Get(%d): len = %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Errorf("Get(%d): cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizedBypassesPool(t *testing.T) {
+	n := (1 << maxShift) + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("len = %d", len(b))
+	}
+	Put(b) // must not panic; silently dropped
+}
+
+func TestReuseWithinClass(t *testing.T) {
+	// A buffer Put back should be handed out again for a same-class Get.
+	// sync.Pool may drop entries under GC pressure, so retry a few times
+	// rather than asserting a single round trip.
+	reused := false
+	for i := 0; i < 100 && !reused; i++ {
+		b := Get(1000)
+		b[0] = 0x42
+		Put(b)
+		c := Get(900)
+		reused = &c[:1][0] == &b[:1][0]
+		Put(c)
+	}
+	if !reused {
+		t.Error("no buffer reuse observed in 100 rounds")
+	}
+}
+
+func TestPutForeignSlice(t *testing.T) {
+	// Odd-capacity slices from plain make are accepted into the class
+	// that fits below their capacity, and must still satisfy Gets.
+	Put(make([]byte, 700)) // cap 700 -> class 512
+	b := Get(512)
+	if cap(b) < 512 {
+		t.Fatalf("cap = %d", cap(b))
+	}
+	Put(b)
+	Put(make([]byte, 10)) // below the smallest class: dropped, no panic
+}
+
+func TestLeakAccounting(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+	ResetStats()
+	var bufs [][]byte
+	for i := 0; i < 10; i++ {
+		bufs = append(bufs, Get(1024))
+	}
+	bb := GetBuffer()
+	if got := Outstanding(); got != 11 {
+		t.Fatalf("Outstanding = %d, want 11", got)
+	}
+	for _, b := range bufs {
+		Put(b)
+	}
+	PutBuffer(bb)
+	if got := Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d, want 0 after full cycle", got)
+	}
+}
+
+func TestPoisonOnPut(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+	b := Get(64)
+	for i := range b {
+		b[i] = 1
+	}
+	saved := b
+	Put(b)
+	for i, v := range saved {
+		if v != 0xA5 {
+			t.Fatalf("byte %d = %#x, want poison 0xA5", i, v)
+		}
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	bb := GetBuffer()
+	bb.WriteString("hello")
+	PutBuffer(bb)
+	bb2 := GetBuffer()
+	if bb2.Len() != 0 {
+		t.Fatalf("recycled buffer not reset: %d bytes", bb2.Len())
+	}
+	PutBuffer(bb2)
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := (seed*31+i*17)%(128<<10) + 1
+				b := Get(n)
+				if len(b) != n {
+					t.Errorf("len = %d, want %d", len(b), n)
+					return
+				}
+				b[0], b[n-1] = 1, 2
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(64 << 10)
+		Put(buf)
+	}
+}

@@ -13,6 +13,7 @@
 package codec
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -135,13 +136,75 @@ func (r *Registry) Decode(rd io.Reader) (interface{}, error) {
 }
 
 // --- binary primitives ------------------------------------------------------
+//
+// The primitives below stage their wire bytes in small stack arrays. Those
+// arrays must never be passed across an io.Writer/io.Reader interface call:
+// escape analysis is not flow-sensitive, so a single interface use would
+// heap-allocate the array on *every* call, including the hot encode/decode
+// path that only ever sees *bytes.Buffer and *bytes.Reader. writeSmall and
+// readSmall keep the concrete cases allocation-free and confine the
+// unavoidable heap copy to the generic io.Writer/io.Reader branch.
+
+// writeSmall writes a short primitive encoding. p is only ever handed to
+// concrete methods that do not retain it, so the caller's stack buffer does
+// not escape; the generic branch copies into a fresh array whose heap
+// allocation is only reached for non-buffer writers.
+func writeSmall(w io.Writer, p []byte) error {
+	if bb, ok := w.(*bytes.Buffer); ok {
+		bb.Write(p)
+		return nil
+	}
+	var a [binary.MaxVarintLen64]byte
+	n := copy(a[:], p)
+	_, err := w.Write(a[:n])
+	return err
+}
+
+// readSmall fills p exactly, with io.ReadFull's error convention: io.EOF on
+// a clean end before any byte, io.ErrUnexpectedEOF on a partial fill. The
+// concrete cases read directly so p never escapes.
+func readSmall(r io.Reader, p []byte) error {
+	switch cr := r.(type) {
+	case *bytes.Reader:
+		n, _ := cr.Read(p)
+		return fullReadErr(n, len(p))
+	case *bytes.Buffer:
+		n, _ := cr.Read(p)
+		return fullReadErr(n, len(p))
+	}
+	a, err := readSmallSlow(r, len(p))
+	copy(p, a[:])
+	return err
+}
+
+// fullReadErr maps a single concrete Read's count to io.ReadFull semantics.
+// Valid because bytes.Reader and bytes.Buffer return min(len(p), remaining)
+// in one call: a short count can only mean the stream ended.
+func fullReadErr(n, want int) error {
+	switch {
+	case n == want:
+		return nil
+	case n == 0:
+		return io.EOF
+	default:
+		return io.ErrUnexpectedEOF
+	}
+}
+
+// readSmallSlow services readSmall's generic branch. Its array escapes
+// through the interface call, but the allocation happens only when this
+// function — not the fast path — actually runs.
+func readSmallSlow(r io.Reader, n int) ([8]byte, error) {
+	var a [8]byte
+	_, err := io.ReadFull(r, a[:n])
+	return a, err
+}
 
 // WriteUvarint writes v in unsigned varint encoding.
 func WriteUvarint(w io.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	_, err := w.Write(buf[:n])
-	return err
+	return writeSmall(w, buf[:n])
 }
 
 // ReadUvarint reads an unsigned varint.
@@ -165,8 +228,7 @@ func (s singleByteReader) ReadByte() (byte, error) {
 func WriteVarint(w io.Writer, v int64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], v)
-	_, err := w.Write(buf[:n])
-	return err
+	return writeSmall(w, buf[:n])
 }
 
 // ReadVarint reads a signed varint.
@@ -186,14 +248,13 @@ func ReadVarint(r io.Reader) (int64, error) {
 func WriteUint16(w io.Writer, v uint16) error {
 	var buf [2]byte
 	binary.BigEndian.PutUint16(buf[:], v)
-	_, err := w.Write(buf[:])
-	return err
+	return writeSmall(w, buf[:])
 }
 
 // ReadUint16 reads a big-endian uint16.
 func ReadUint16(r io.Reader) (uint16, error) {
 	var buf [2]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	if err := readSmall(r, buf[:]); err != nil {
 		return 0, err
 	}
 	return binary.BigEndian.Uint16(buf[:]), nil
@@ -203,14 +264,13 @@ func ReadUint16(r io.Reader) (uint16, error) {
 func WriteUint32(w io.Writer, v uint32) error {
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], v)
-	_, err := w.Write(buf[:])
-	return err
+	return writeSmall(w, buf[:])
 }
 
 // ReadUint32 reads a big-endian uint32.
 func ReadUint32(r io.Reader) (uint32, error) {
 	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	if err := readSmall(r, buf[:]); err != nil {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(buf[:]), nil
@@ -220,14 +280,13 @@ func ReadUint32(r io.Reader) (uint32, error) {
 func WriteUint64(w io.Writer, v uint64) error {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], v)
-	_, err := w.Write(buf[:])
-	return err
+	return writeSmall(w, buf[:])
 }
 
 // ReadUint64 reads a big-endian uint64.
 func ReadUint64(r io.Reader) (uint64, error) {
 	var buf [8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	if err := readSmall(r, buf[:]); err != nil {
 		return 0, err
 	}
 	return binary.BigEndian.Uint64(buf[:]), nil
@@ -239,14 +298,13 @@ func WriteBool(w io.Writer, v bool) error {
 	if v {
 		b[0] = 1
 	}
-	_, err := w.Write(b[:])
-	return err
+	return writeSmall(w, b[:])
 }
 
 // ReadBool reads a single 0/1 byte; any nonzero value is true.
 func ReadBool(r io.Reader) (bool, error) {
 	var b [1]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
+	if err := readSmall(r, b[:]); err != nil {
 		return false, err
 	}
 	return b[0] != 0, nil

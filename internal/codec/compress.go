@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 )
 
 // Compressor transforms payload bytes. The middleware's channel pipeline
@@ -18,8 +20,20 @@ type Compressor interface {
 	Name() string
 	// Compress returns the compressed form of src.
 	Compress(src []byte) ([]byte, error)
-	// Decompress reverses Compress.
+	// Decompress reverses Compress. The result may alias src (Noop does
+	// this); callers recycling buffers must account for aliasing.
 	Decompress(src []byte) ([]byte, error)
+}
+
+// AppendCompressor is an optional Compressor extension for the
+// zero-allocation hot path: the compressed bytes are appended directly to
+// dst, letting callers place them after a header in a pooled buffer
+// without a second copy.
+type AppendCompressor interface {
+	// AppendCompress appends the compressed form of src to dst and
+	// returns the extended slice (reallocating like append when dst lacks
+	// capacity).
+	AppendCompress(dst, src []byte) ([]byte, error)
 }
 
 // Noop is a pass-through Compressor. The zero value is ready to use.
@@ -36,13 +50,41 @@ func (Noop) Compress(src []byte) ([]byte, error) { return src, nil }
 // Decompress implements Compressor.
 func (Noop) Decompress(src []byte) ([]byte, error) { return src, nil }
 
-// Flate is a DEFLATE Compressor with pooled encoders.
+// Flate is a DEFLATE Compressor. Both directions run allocation-free at
+// steady state: compression pools its flate.Writers (heavyweight: ~64 kB
+// of window state each) behind a reusable slice sink, and decompression
+// pools its flate.Readers symmetrically via flate.Resetter.
 type Flate struct {
 	level int
-	pool  sync.Pool
+	enc   sync.Pool // *flateEncoder
+	dec   sync.Pool // *flateDecoder
 }
 
 var _ Compressor = (*Flate)(nil)
+var _ AppendCompressor = (*Flate)(nil)
+
+// flateEncoder pairs a pooled flate.Writer with the slice sink it writes
+// to, so a Compress call recycles both as one unit.
+type flateEncoder struct {
+	sink sliceWriter
+	fw   *flate.Writer
+}
+
+// sliceWriter appends to a caller-owned slice; the hot path's alternative
+// to a bytes.Buffer whose backing array could not be handed back.
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// flateDecoder pairs a pooled flate reader with the bytes.Reader it
+// decompresses from.
+type flateDecoder struct {
+	src bytes.Reader
+	fr  io.ReadCloser // always implements flate.Resetter
+}
 
 // NewFlate creates a DEFLATE compressor. Levels follow compress/flate;
 // out-of-range values fall back to flate.DefaultCompression.
@@ -58,37 +100,56 @@ func (f *Flate) Name() string { return "flate" }
 
 // Compress implements Compressor.
 func (f *Flate) Compress(src []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(len(src)/2 + 64)
-	fw, _ := f.writer(&buf)
-	if _, err := fw.Write(src); err != nil {
+	dst := make([]byte, 0, len(src)/2+64)
+	return f.AppendCompress(dst, src)
+}
+
+// AppendCompress implements AppendCompressor.
+func (f *Flate) AppendCompress(dst, src []byte) ([]byte, error) {
+	e, _ := f.enc.Get().(*flateEncoder)
+	if e == nil {
+		e = &flateEncoder{}
+		e.fw, _ = flate.NewWriter(&e.sink, f.level)
+	}
+	e.sink.b = dst
+	e.fw.Reset(&e.sink)
+	if _, err := e.fw.Write(src); err != nil {
 		return nil, fmt.Errorf("codec: flate compress: %w", err)
 	}
-	if err := fw.Close(); err != nil {
+	if err := e.fw.Close(); err != nil {
 		return nil, fmt.Errorf("codec: flate close: %w", err)
 	}
-	f.pool.Put(fw)
-	return buf.Bytes(), nil
+	out := e.sink.b
+	e.sink.b = nil
+	f.enc.Put(e)
+	return out, nil
 }
 
-func (f *Flate) writer(w io.Writer) (*flate.Writer, error) {
-	if fw, ok := f.pool.Get().(*flate.Writer); ok {
-		fw.Reset(w)
-		return fw, nil
-	}
-	return flate.NewWriter(w, f.level)
-}
-
-// Decompress implements Compressor.
+// Decompress implements Compressor. The returned slice is drawn from
+// bufpool; the caller owns it and may recycle it with bufpool.Put.
 func (f *Flate) Decompress(src []byte) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(src))
-	defer fr.Close()
-	out, err := io.ReadAll(io.LimitReader(fr, maxChunk+1))
+	d, _ := f.dec.Get().(*flateDecoder)
+	if d == nil {
+		d = &flateDecoder{fr: flate.NewReader(nil)}
+	}
+	d.src.Reset(src)
+	if err := d.fr.(flate.Resetter).Reset(&d.src, nil); err != nil {
+		return nil, fmt.Errorf("codec: flate reset: %w", err)
+	}
+	scratch := bufpool.GetBuffer()
+	_, err := scratch.ReadFrom(io.LimitReader(d.fr, maxChunk+1))
+	d.src.Reset(nil)
+	f.dec.Put(d)
 	if err != nil {
+		bufpool.PutBuffer(scratch)
 		return nil, fmt.Errorf("codec: flate decompress: %w", err)
 	}
-	if len(out) > maxChunk {
+	if scratch.Len() > maxChunk {
+		bufpool.PutBuffer(scratch)
 		return nil, fmt.Errorf("%w: decompressed payload", ErrValueOutOfBounds)
 	}
+	out := bufpool.Get(scratch.Len())
+	copy(out, scratch.Bytes())
+	bufpool.PutBuffer(scratch)
 	return out, nil
 }

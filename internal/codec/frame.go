@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 )
 
 // DefaultMaxFrame is the default upper bound on a single frame's payload.
@@ -11,8 +14,24 @@ import (
 // allow some headroom for headers and compression expansion.
 const DefaultMaxFrame = 1 << 20
 
-// frameHeaderLen is the size of the length prefix on stream transports.
-const frameHeaderLen = 4
+// FrameHeaderLen is the size of the length prefix on stream transports,
+// exported so write-coalescing callers can size batch buffers exactly.
+const FrameHeaderLen = 4
+
+// frameHeaderLen is kept as the internal alias.
+const frameHeaderLen = FrameHeaderLen
+
+// AppendFrame appends one length-prefixed frame (header + payload) to dst
+// and returns the extended slice. It performs no size validation — callers
+// batching pre-validated messages (transport.Send checks against MaxFrame)
+// use it to pack several frames into one pooled buffer for a single
+// vectored or coalesced write.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
 
 // WriteFrame writes payload prefixed by its 32-bit big-endian length.
 func WriteFrame(w io.Writer, payload []byte, maxFrame int) error {
@@ -31,26 +50,58 @@ func WriteFrame(w io.Writer, payload []byte, maxFrame int) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame. io.EOF is returned unchanged
-// when the stream ends cleanly between frames; a partial frame yields
+// WriteFrameVectored writes one frame as a single vectored write: header
+// and payload go out in one writev(2) when w supports it (net.Conn
+// implementations do), avoiding both the second syscall and copying the
+// payload into a staging buffer. On writers without vectored support,
+// net.Buffers falls back to sequential writes, making this equivalent to
+// WriteFrame. It reports the number of bytes consumed from payload (the
+// header does not count), which on a short write tells the caller how much
+// of the payload reached the socket.
+func WriteFrameVectored(w io.Writer, payload []byte, maxFrame int) (int, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), maxFrame)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	n, err := bufs.WriteTo(w)
+	n -= frameHeaderLen
+	if n < 0 {
+		n = 0
+	}
+	return int(n), err
+}
+
+// ReadFrame reads one length-prefixed frame into a buffer drawn from
+// bufpool. io.EOF is returned unchanged when the stream ends cleanly
+// between frames; a stream that ends mid-header or mid-payload yields
 // io.ErrUnexpectedEOF.
+//
+// Ownership: the returned buffer belongs to the caller, who should return
+// it with bufpool.Put once the payload has been consumed (dropping it is
+// safe but costs an allocation on a later read).
 func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
 	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, err
-		}
+	if err := readSmall(r, hdr[:]); err != nil {
+		// readSmall already distinguishes the two stream-end cases:
+		// io.EOF for a clean end before any header byte, and
+		// io.ErrUnexpectedEOF for a truncated header. Pass both through.
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if int64(n) > int64(maxFrame) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	payload := make([]byte, n)
+	payload := bufpool.Get(int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
+		bufpool.Put(payload)
 		if err == io.EOF {
 			return nil, io.ErrUnexpectedEOF
 		}

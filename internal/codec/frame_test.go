@@ -1,0 +1,109 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+)
+
+// TestReadFrameTruncatedHeader pins the stream-end error mapping: a clean
+// end between frames is io.EOF, any truncation — mid-header or mid-payload
+// — is io.ErrUnexpectedEOF.
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, []byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	frame := full.Bytes()
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF // clean end before any header byte
+		}
+		if err != want {
+			t.Errorf("cut at %d bytes: err = %v, want %v", cut, err, want)
+		}
+	}
+}
+
+// TestReadFramePooledOwnership verifies the documented contract: the
+// returned buffer came from bufpool and a full read/Put cycle leaks
+// nothing, including on truncated-payload errors (ReadFrame reclaims the
+// buffer itself then).
+func TestReadFramePooledOwnership(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	bufpool.ResetStats()
+
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteFrame(&buf, bytes.Repeat([]byte{byte(i)}, 1024), 0); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(payload)
+	}
+	// Truncated payload: ReadFrame must not leak its pooled buffer.
+	buf.Reset()
+	if err := WriteFrame(&buf, make([]byte, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadFrame(bytes.NewReader(trunc), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: err = %v", err)
+	}
+	if n := bufpool.Outstanding(); n != 0 {
+		t.Fatalf("leaked %d pooled buffers through ReadFrame", n)
+	}
+}
+
+func TestWriteFrameVectored(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("vectored payload")
+	n, err := WriteFrameVectored(&buf, payload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payload) {
+		t.Fatalf("n = %d, want %d", n, len(payload))
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q", got)
+	}
+	bufpool.Put(got)
+	if _, err := WriteFrameVectored(&buf, make([]byte, 100), 10); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestAppendFrame(t *testing.T) {
+	var packed []byte
+	payloads := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, p := range payloads {
+		packed = AppendFrame(packed, p)
+	}
+	r := bytes.NewReader(packed)
+	for i, want := range payloads {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+		bufpool.Put(got)
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("trailing data: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"sync"
 
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
 	"github.com/kompics/kompicsmessaging-go/internal/kompics"
 	"github.com/kompics/kompicsmessaging-go/internal/transport"
@@ -249,6 +250,7 @@ func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
 	if proto == UDT {
 		shifted, err := transport.OffsetPort(dest, n.cfg.UDTPortOffset)
 		if err != nil {
+			bufpool.Put(payload)
 			n.notify(notifyID, wantNotify, err)
 			return
 		}
@@ -256,9 +258,12 @@ func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
 	}
 	ep := n.endpoint()
 	if ep == nil {
+		bufpool.Put(payload)
 		n.notify(notifyID, wantNotify, errors.New("core: network not started"))
 		return
 	}
+	// Send takes ownership of payload and recycles it into bufpool once
+	// the write outcome is decided.
 	ep.Send(proto, dest, payload, cb)
 }
 
@@ -272,52 +277,128 @@ func (n *Network) notify(id uint64, want bool, err error) {
 	n.ctx.Trigger(NotifyResp{ID: id, Err: err}, n.port)
 }
 
-// encode serialises and optionally compresses a message.
+// encode serialises and optionally compresses a message into a buffer
+// drawn from bufpool. Ownership of the returned slice passes to the
+// caller — sendMsg hands it to transport.Send, which recycles it once the
+// write outcome is decided.
 func (n *Network) encode(msg Msg) ([]byte, error) {
-	var body bytes.Buffer
-	body.WriteByte(wireRaw)
-	if err := n.cfg.Registry.Encode(&body, msg); err != nil {
+	scratch := bufpool.GetBuffer()
+	scratch.WriteByte(wireRaw)
+	if err := n.cfg.Registry.Encode(scratch, msg); err != nil {
+		bufpool.PutBuffer(scratch)
 		return nil, fmt.Errorf("%w: %T (%v)", ErrNoSerializer, msg, err)
 	}
-	raw := body.Bytes()
-	if _, isNoop := n.cfg.Compressor.(codec.Noop); isNoop {
-		return raw, nil
+	raw := scratch.Bytes()
+	if _, isNoop := n.cfg.Compressor.(codec.Noop); !isNoop {
+		if packed, ok := n.compress(raw); ok {
+			bufpool.PutBuffer(scratch)
+			return packed, nil
+		}
 	}
-	packed, err := n.cfg.Compressor.Compress(raw[1:])
-	if err != nil || len(packed)+1 >= len(raw) {
-		// Compression failed or did not help: ship raw.
-		return raw, nil
-	}
-	out := make([]byte, 0, len(packed)+1)
-	out = append(out, wireCompressed)
-	out = append(out, packed...)
+	// Ship raw: copy out of the pooled scratch so it can be recycled now.
+	out := bufpool.Get(len(raw))
+	copy(out, raw)
+	bufpool.PutBuffer(scratch)
 	return out, nil
+}
+
+// compress attempts to shrink an encoded payload (raw, including its
+// leading flag byte). The compressed bytes are written in place after the
+// wireCompressed flag in a pooled buffer — no prepend copy. ok=false means
+// compression failed or did not help; ship raw.
+func (n *Network) compress(raw []byte) ([]byte, bool) {
+	ac, fast := n.cfg.Compressor.(codec.AppendCompressor)
+	if !fast {
+		packed, err := n.cfg.Compressor.Compress(raw[1:])
+		if err != nil || len(packed)+1 >= len(raw) {
+			return nil, false
+		}
+		out := bufpool.Get(len(packed) + 1)
+		out[0] = wireCompressed
+		copy(out[1:], packed)
+		return out, true
+	}
+	dst := bufpool.Get(len(raw))[:1]
+	dst[0] = wireCompressed
+	out, err := ac.AppendCompress(dst, raw[1:])
+	if err != nil || len(out) >= len(raw) {
+		// Recycle whichever backing array we ended up with; if the
+		// append outgrew dst, dst's original buffer was already dropped
+		// by the compressor's internal append.
+		if out != nil {
+			bufpool.Put(out)
+		} else {
+			bufpool.Put(dst)
+		}
+		return nil, false
+	}
+	if &out[0] != &dst[0] {
+		// The compressed form outgrew the initial buffer and was
+		// reallocated; return the now-unused original to the pool.
+		bufpool.Put(dst)
+	}
+	return out, true
 }
 
 // onWirePayload runs on transport goroutines: decode and hand the message
 // into component context.
 func (n *Network) onWirePayload(payload []byte) {
-	if len(payload) == 0 {
+	msg, err := n.decodeWire(payload)
+	if err != nil {
+		n.cfg.Logger.Warn("core: dropping inbound message", "err", err)
 		return
+	}
+	if msg == nil {
+		return
+	}
+	n.comp.SelfTrigger(inbound{msg: msg})
+}
+
+// wireReaderPool recycles the bytes.Reader each inbound decode reads
+// through, instead of allocating one per message.
+var wireReaderPool = sync.Pool{New: func() interface{} { return new(bytes.Reader) }}
+
+// decodeWire decompresses and decodes one wire payload. A (nil, nil) return
+// means an empty payload, which is silently ignored.
+//
+// Ownership: decodeWire consumes the buffer — this is the "core returns
+// transport's pooled buffers after decode" half of the wire-path contract
+// (serialisers copy what they keep, so nothing aliases the buffer once
+// Decode returns).
+func (n *Network) decodeWire(payload []byte) (Msg, error) {
+	if len(payload) == 0 {
+		bufpool.Put(payload)
+		return nil, nil
 	}
 	body := payload[1:]
 	if payload[0] == wireCompressed {
 		raw, err := n.cfg.Compressor.Decompress(body)
 		if err != nil {
-			n.cfg.Logger.Warn("core: dropping undecompressable message", "err", err)
-			return
+			bufpool.Put(payload)
+			return nil, fmt.Errorf("core: undecompressable message: %w", err)
+		}
+		if len(raw) == 0 || len(body) == 0 || &raw[0] != &body[0] {
+			// Fresh buffer from the compressor (Flate draws from
+			// bufpool): the wire buffer can be recycled immediately and
+			// the decompressed one after decoding. A pass-through
+			// compressor aliases body instead, keeping payload live.
+			bufpool.Put(payload)
+			payload = raw
 		}
 		body = raw
 	}
-	v, err := n.cfg.Registry.Decode(bytes.NewReader(body))
+	r := wireReaderPool.Get().(*bytes.Reader)
+	r.Reset(body)
+	v, err := n.cfg.Registry.Decode(r)
+	r.Reset(nil)
+	wireReaderPool.Put(r)
+	bufpool.Put(payload)
 	if err != nil {
-		n.cfg.Logger.Warn("core: dropping undecodable message", "err", err)
-		return
+		return nil, fmt.Errorf("core: undecodable message: %w", err)
 	}
 	msg, ok := v.(Msg)
 	if !ok {
-		n.cfg.Logger.Warn("core: decoded value is not a Msg", "type", fmt.Sprintf("%T", v))
-		return
+		return nil, fmt.Errorf("core: decoded value is not a Msg but %T", v)
 	}
-	n.comp.SelfTrigger(inbound{msg: msg})
+	return msg, nil
 }

@@ -42,7 +42,10 @@ func ReadAddress(r io.Reader) (BasicAddress, error) {
 	if port > 65535 {
 		return BasicAddress{}, fmt.Errorf("core: port %d out of range", port)
 	}
-	return NewAddress(net.IP(ip), int(port)), nil
+	// ReadBytes already returned a private copy of the IP bytes, so the
+	// defensive duplication in NewAddress would be a second allocation for
+	// every decoded address.
+	return BasicAddress{ip: net.IP(ip), port: int(port)}, nil
 }
 
 // WriteBasicHeader encodes a BasicHeader.

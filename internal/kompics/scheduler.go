@@ -2,6 +2,52 @@ package kompics
 
 import "sync"
 
+// runQueue is a growable FIFO ring buffer of components. The previous
+// slice-based queue popped with `queue = queue[1:]`, which both kept the
+// vacated slot reachable (pinning the Component for GC) and slid the
+// window down the backing array so that steady traffic forced endless
+// reallocation; the ring reuses its buffer in place.
+type runQueue struct {
+	buf  []*Component
+	head int // index of the front element
+	n    int // number of queued elements
+}
+
+// push appends c at the tail, growing the ring when full.
+func (q *runQueue) push(c *Component) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = c
+	q.n++
+}
+
+// pop removes and returns the front element, zeroing the vacated slot so
+// the component is not pinned. Callers check q.n > 0 first.
+func (q *runQueue) pop() *Component {
+	c := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return c
+}
+
+func (q *runQueue) grow() {
+	next := make([]*Component, max(16, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // scheduler runs components on a fixed pool of workers. Components that
 // have queued events wait in a FIFO run queue; a component is in the queue
 // at most once (the scheduled flag in Component guards admission), which
@@ -11,7 +57,7 @@ type scheduler struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*Component
+	queue  runQueue
 	closed bool
 
 	// busy counts components currently executing on a worker; together
@@ -40,7 +86,7 @@ func (s *scheduler) ready(c *Component) {
 		s.mu.Unlock()
 		return
 	}
-	s.queue = append(s.queue, c)
+	s.queue.push(c)
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -49,15 +95,14 @@ func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for s.queue.n == 0 && !s.closed {
 			s.cond.Wait()
 		}
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		c := s.queue[0]
-		s.queue = s.queue[1:]
+		c := s.queue.pop()
 		s.busy++
 		s.mu.Unlock()
 
@@ -66,10 +111,10 @@ func (s *scheduler) worker() {
 		s.mu.Lock()
 		s.busy--
 		if again && !s.closed {
-			s.queue = append(s.queue, c)
+			s.queue.push(c)
 			s.cond.Signal()
 		}
-		if s.busy == 0 && len(s.queue) == 0 {
+		if s.busy == 0 && s.queue.n == 0 {
 			s.idleCnd.Broadcast()
 		}
 		s.mu.Unlock()
@@ -92,7 +137,7 @@ func (s *scheduler) close() {
 func (s *scheduler) awaitIdle() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for (len(s.queue) > 0 || s.busy > 0) && !s.closed {
+	for (s.queue.n > 0 || s.busy > 0) && !s.closed {
 		s.idleCnd.Wait()
 	}
 }

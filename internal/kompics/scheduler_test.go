@@ -1,0 +1,65 @@
+package kompics
+
+import "testing"
+
+// TestRunQueueFIFO exercises order and wraparound across growth.
+func TestRunQueueFIFO(t *testing.T) {
+	var q runQueue
+	comps := make([]*Component, 100)
+	for i := range comps {
+		comps[i] = &Component{}
+	}
+	// Interleave pushes and pops so head wraps around the ring.
+	next := 0
+	for i, c := range comps {
+		q.push(c)
+		if i%3 == 2 {
+			if got := q.pop(); got != comps[next] {
+				t.Fatalf("pop %d: wrong component", next)
+			}
+			next++
+		}
+	}
+	for q.n > 0 {
+		if got := q.pop(); got != comps[next] {
+			t.Fatalf("pop %d: wrong component", next)
+		}
+		next++
+	}
+	if next != len(comps) {
+		t.Fatalf("popped %d of %d", next, len(comps))
+	}
+}
+
+// TestRunQueueNoGrowthAtSteadyState is the regression test for the old
+// slice-shift queue: `queue = queue[1:]` slid down its backing array and
+// re-allocated forever under steady traffic. The ring must reach a fixed
+// capacity and stay there no matter how many operations flow through.
+func TestRunQueueNoGrowthAtSteadyState(t *testing.T) {
+	var q runQueue
+	c := &Component{}
+	// Steady state: bounded occupancy (≤ 8), many operations.
+	for i := 0; i < 100000; i++ {
+		for j := 0; j < 8; j++ {
+			q.push(c)
+		}
+		for j := 0; j < 8; j++ {
+			q.pop()
+		}
+	}
+	if cap(q.buf) > 16 {
+		t.Fatalf("ring grew to %d slots for ≤8 queued components", cap(q.buf))
+	}
+}
+
+// TestRunQueuePopZeroesSlot checks popped slots are cleared so finished
+// components are not pinned by the queue's backing array.
+func TestRunQueuePopZeroesSlot(t *testing.T) {
+	var q runQueue
+	q.push(&Component{})
+	head := q.head
+	q.pop()
+	if q.buf[head] != nil {
+		t.Fatal("vacated slot still references the component")
+	}
+}

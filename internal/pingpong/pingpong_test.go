@@ -126,6 +126,23 @@ func freeTestPort(t *testing.T) int {
 	return 0
 }
 
+// waitForListener blocks until a TCP listener on 127.0.0.1:port accepts,
+// failing the test if it never comes up.
+func waitForListener(t *testing.T, port int) {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("listener on %s never came up", addr)
+}
+
 func TestPingPongOverLoopback(t *testing.T) {
 	portA := freeTestPort(t)
 	portB := freeTestPort(t)
@@ -169,6 +186,12 @@ func TestPingPongOverLoopback(t *testing.T) {
 	sysA.Start(pingerComp)
 	sysB.Start(pongerComp)
 	sysA.Start(watchComp)
+	// Listeners come up asynchronously on Start. A probe sent before the
+	// ponger (or the pong's return path) accepts connections is lost to a
+	// refused dial, and the pinger never resends a sequence number — so
+	// wait for both sides before the first ping.
+	waitForListener(t, portA)
+	waitForListener(t, portB)
 	watch.comp.SelfTrigger(startPing{})
 
 	deadline := time.Now().Add(30 * time.Second)

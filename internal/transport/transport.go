@@ -12,12 +12,14 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
 	"github.com/kompics/kompicsmessaging-go/internal/udt"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
@@ -61,7 +63,11 @@ type Config struct {
 	UDT udt.Config
 	// OnMessage receives every inbound payload; required before Start.
 	// Called from transport goroutines — implementations must be
-	// goroutine-safe and non-blocking.
+	// goroutine-safe and non-blocking. Ownership of the payload buffer
+	// (drawn from bufpool) passes to the callback: once done with the
+	// bytes it should return them with bufpool.Put, and it must not
+	// assume the slice stays valid after Put. Dropping the buffer is
+	// safe but costs a future allocation.
 	OnMessage func(payload []byte)
 	// Logger receives connection-level diagnostics (default slog.Default).
 	Logger *slog.Logger
@@ -211,11 +217,17 @@ func (e *Endpoint) Close() {
 // exactly once with the write outcome (nil after the payload reached the
 // socket — the middleware's at-most-once "sent" signal, not an
 // end-to-end acknowledgement).
+//
+// Ownership of payload transfers to the endpoint: after the outcome is
+// decided (notify fires, or would have) the buffer is recycled into
+// bufpool, so callers must not reuse it and must pass a distinct buffer
+// per Send (no broadcasting one slice to several destinations).
 func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notify func(error)) {
 	fail := func(err error) {
 		if notify != nil {
 			notify(err)
 		}
+		bufpool.Put(payload)
 	}
 	if !proto.Wire() {
 		fail(fmt.Errorf("%w: %v", ErrUnsupported, proto))
@@ -331,7 +343,9 @@ func (e *Endpoint) startUDP() error {
 			if n == 0 || n > maxUDPPayload {
 				continue
 			}
-			payload := make([]byte, n)
+			// Hand a pooled copy up; the consumer owns it (and returns
+			// it to bufpool) while this goroutine reuses buf.
+			payload := bufpool.Get(n)
 			copy(payload, buf[:n])
 			e.cfg.OnMessage(payload)
 		}
@@ -357,6 +371,7 @@ func (e *Endpoint) readFrames(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
+		// ReadFrame fills a pooled buffer; ownership passes to OnMessage.
 		payload, err := codec.ReadFrame(conn, e.cfg.MaxFrame)
 		if err != nil {
 			return
@@ -372,11 +387,43 @@ type outMsg struct {
 	notify  func(error)
 }
 
+// release decides m's outcome: the notification fires (if requested) and
+// the payload buffer — owned by the endpoint since Send — returns to the
+// pool. Exactly one release happens per queued message.
+func (m outMsg) release(err error) {
+	if m.notify != nil {
+		m.notify(err)
+	}
+	bufpool.Put(m.payload)
+}
+
+// maxCoalesce bounds the bytes packed into one coalesced stream write.
+// Larger drained batches go out as several sequential writes. 256 kB
+// keeps pool buffers in the top size classes while amortising syscalls
+// across dozens of typical 65 kB chunks or thousands of small messages.
+const maxCoalesce = 256 << 10
+
+// maxIdleQueueCap bounds the capacity retained by a drained queue or batch
+// scratch slice, so one burst does not pin memory forever.
+const maxIdleQueueCap = 1024
+
 // outChannel serialises writes to one (destination, protocol) pair on a
-// dedicated goroutine, dialing lazily on first use.
+// dedicated goroutine, dialing lazily on first use. The run loop drains
+// the whole queue per wakeup and coalesces it into as few socket writes
+// as possible (Netty-style flush batching), preserving per-message notify
+// order.
 type outChannel struct {
 	ep  *Endpoint
 	key chanKey
+
+	// udpAddr caches the resolved destination for datagram sends from the
+	// shared listening socket; written once by run's dial, read only by
+	// the same goroutine.
+	udpAddr *net.UDPAddr
+
+	// batch is run's reusable drain scratch, only touched by the run
+	// goroutine (under mu inside nextBatch).
+	batch []outMsg
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -396,9 +443,7 @@ func (c *outChannel) enqueue(m outMsg) {
 	if c.closed {
 		err := c.err
 		c.mu.Unlock()
-		if m.notify != nil {
-			m.notify(err)
-		}
+		m.release(err)
 		return
 	}
 	c.queue = append(c.queue, m)
@@ -406,20 +451,43 @@ func (c *outChannel) enqueue(m outMsg) {
 	c.cond.Signal()
 }
 
-// next blocks for the next message; ok=false means the channel closed.
-func (c *outChannel) next() (outMsg, bool) {
+// nextBatch blocks until at least one message is queued, then drains the
+// entire queue into the channel's reusable batch scratch; ok=false means
+// the channel closed. Draining everything per wakeup is what lets the
+// writer coalesce — senders that outpace the socket accumulate a batch,
+// senders that don't get the old one-message behaviour.
+func (c *outChannel) nextBatch() ([]outMsg, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.queue) == 0 && !c.closed {
 		c.cond.Wait()
 	}
 	if c.closed {
-		return outMsg{}, false
+		return nil, false
 	}
-	m := c.queue[0]
-	c.queue[0] = outMsg{}
-	c.queue = c.queue[1:]
-	return m, true
+	c.batch = append(c.batch[:0], c.queue...)
+	for i := range c.queue {
+		c.queue[i] = outMsg{} // drop payload/notify refs for GC
+	}
+	if cap(c.queue) > maxIdleQueueCap {
+		c.queue = nil
+	} else {
+		c.queue = c.queue[:0]
+	}
+	return c.batch, true
+}
+
+// releaseBatch clears the drain scratch after its messages have been
+// released, bounding retained capacity.
+func (c *outChannel) releaseBatch() {
+	for i := range c.batch {
+		c.batch[i] = outMsg{}
+	}
+	if cap(c.batch) > maxIdleQueueCap {
+		c.batch = nil
+	} else {
+		c.batch = c.batch[:0]
+	}
 }
 
 // close fails all queued messages and stops the run loop.
@@ -436,14 +504,15 @@ func (c *outChannel) close(err error) {
 	c.mu.Unlock()
 	c.cond.Broadcast()
 	for _, m := range pending {
-		if m.notify != nil {
-			m.notify(err)
-		}
+		m.release(err)
 	}
 }
 
-// run dials the destination and drains the queue; on a write error the
-// channel is dropped so a later Send re-establishes it.
+// run dials the destination and drains the queue batch-wise; on a write
+// error the channel is dropped so a later Send re-establishes it. Notify
+// semantics are per message and in queue order: messages that fully
+// reached the socket before a mid-batch failure succeed, only the unsent
+// tail fails.
 func (c *outChannel) run() {
 	conn, err := c.dial()
 	if err != nil {
@@ -457,14 +526,19 @@ func (c *outChannel) run() {
 		defer conn.Close()
 	}
 	for {
-		m, ok := c.next()
+		batch, ok := c.nextBatch()
 		if !ok {
 			return
 		}
-		err := c.write(conn, m.payload)
-		if m.notify != nil {
-			m.notify(err)
+		sent, err := c.writeBatch(conn, batch)
+		for i := range batch {
+			if i < sent {
+				batch[i].release(nil)
+			} else {
+				batch[i].release(err)
+			}
 		}
+		c.releaseBatch()
 		if err != nil {
 			c.ep.cfg.Logger.Warn("transport: write failed",
 				"proto", c.key.proto.String(), "dest", c.key.dest, "err", err)
@@ -475,7 +549,8 @@ func (c *outChannel) run() {
 	}
 }
 
-// dial opens the stream connection; UDP needs none (nil conn).
+// dial opens the stream connection; UDP needs none (nil conn) but resolves
+// and caches the destination address once, instead of per datagram.
 func (c *outChannel) dial() (net.Conn, error) {
 	switch c.key.proto {
 	case wire.TCP:
@@ -488,6 +563,11 @@ func (c *outChannel) dial() (net.Conn, error) {
 		return udt.Dial(c.key.dest, cfg)
 	case wire.UDP:
 		if c.ep.udpSock != nil {
+			addr, err := net.ResolveUDPAddr("udp", c.key.dest)
+			if err != nil {
+				return nil, err
+			}
+			c.udpAddr = addr
 			return nil, nil // send from the listening socket
 		}
 		return net.DialTimeout("udp", c.key.dest, c.ep.cfg.DialTimeout)
@@ -496,20 +576,75 @@ func (c *outChannel) dial() (net.Conn, error) {
 	}
 }
 
-func (c *outChannel) write(conn net.Conn, payload []byte) error {
+// writeBatch sends a drained batch and returns how many of its messages
+// fully reached the socket, with the error that stopped the rest (if any).
+// Datagram sends stay one syscall per message to preserve message
+// boundaries; stream sends are coalesced.
+func (c *outChannel) writeBatch(conn net.Conn, batch []outMsg) (int, error) {
 	if c.key.proto == wire.UDP {
-		if conn != nil {
-			_, err := conn.Write(payload)
-			return err
+		for i := range batch {
+			var err error
+			if conn != nil {
+				_, err = conn.Write(batch[i].payload)
+			} else {
+				_, err = c.ep.udpSock.WriteToUDP(batch[i].payload, c.udpAddr)
+			}
+			if err != nil {
+				return i, err
+			}
 		}
-		addr, err := net.ResolveUDPAddr("udp", c.key.dest)
-		if err != nil {
-			return err
-		}
-		_, err = c.ep.udpSock.WriteToUDP(payload, addr)
-		return err
+		return len(batch), nil
 	}
-	return codec.WriteFrame(conn, payload, c.ep.cfg.MaxFrame)
+	// A lone large frame on TCP goes out as one writev of header+payload,
+	// skipping the staging copy; everything else is coalesced.
+	if len(batch) == 1 {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if _, err := codec.WriteFrameVectored(tc, batch[0].payload, c.ep.cfg.MaxFrame); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}
+	}
+	return writeCoalesced(conn, batch)
+}
+
+// writeCoalesced packs the batch's frames into pooled staging buffers of
+// at most maxCoalesce bytes and issues one Write per buffer — one syscall
+// per drained batch in the common case. On a short or failed write the
+// count of fully-flushed messages is reconstructed from the byte count.
+// Frame sizes are pre-validated by Send against MaxFrame.
+func writeCoalesced(w io.Writer, batch []outMsg) (int, error) {
+	sent := 0
+	for sent < len(batch) {
+		end, size := sent, 0
+		for end < len(batch) {
+			fs := codec.FrameHeaderLen + len(batch[end].payload)
+			if end > sent && size+fs > maxCoalesce {
+				break
+			}
+			size += fs
+			end++
+		}
+		buf := bufpool.Get(size)[:0]
+		for i := sent; i < end; i++ {
+			buf = codec.AppendFrame(buf, batch[i].payload)
+		}
+		n, err := w.Write(buf)
+		bufpool.Put(buf)
+		if err != nil {
+			for i := sent; i < end; i++ {
+				fs := codec.FrameHeaderLen + len(batch[i].payload)
+				if n < fs {
+					break
+				}
+				n -= fs
+				sent++
+			}
+			return sent, err
+		}
+		sent = end
+	}
+	return sent, nil
 }
 
 // OffsetPort shifts the port of "host:port" by delta; port 0 (ephemeral)
