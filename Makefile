@@ -1,7 +1,8 @@
 # KompicsMessaging-go build targets.
 #
-#   make check          vet + build + race-enabled tests (the CI gate)
+#   make check          vet + kmlint + build + race-enabled tests (the CI gate)
 #   make test           plain test run (tier-1 verify)
+#   make lint           kmlint static analyzer suite only
 #   make bench-hotpath  rerun the wire hot-path benchmarks and refresh the
 #                       "current" section of BENCH_hotpath.json
 #   make bench          full benchmark sweep (figures + ablations)
@@ -11,10 +12,10 @@ GO ?= go
 HOTPATH_PKGS = ./internal/core/ ./internal/transport/
 HOTPATH_OUT  = BENCH_hotpath.out
 
-.PHONY: check test build vet bench bench-hotpath
+.PHONY: check test build vet lint bench bench-hotpath
 
 check:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -24,6 +25,9 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/kmlint ./...
 
 bench-hotpath:
 	$(GO) test -bench WirePath -run '^$$' -benchmem $(HOTPATH_PKGS) | tee $(HOTPATH_OUT)

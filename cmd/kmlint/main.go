@@ -1,0 +1,176 @@
+// Command kmlint runs the project's static analyzer suite (internal/lint)
+// over the named packages and reports findings as
+//
+//	file:line: [check] message
+//
+// exiting 1 when anything is found. It understands the same ./... pattern
+// as the go tool, skipping testdata, vendor and hidden directories.
+// Findings are suppressed with audited //kmlint:ignore directives — see
+// internal/lint and the "Static invariants and kmlint" section of
+// DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/kompics/kompicsmessaging-go/internal/lint"
+)
+
+func main() {
+	checkFlag := flag.String("check", "", "run only this comma-separated subset of checks (default: all)")
+	listFlag := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kmlint [flags] [packages]\n\npackages use go-style patterns (default ./...)\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	reportUnused := true
+	if *checkFlag != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checkFlag, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "kmlint: unknown check %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+		// With a partial suite, ignores for the skipped checks would all
+		// look stale; don't report them.
+		reportUnused = false
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "kmlint: no packages matched")
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(loader, dirs, analyzers, reportUnused)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// expandPatterns resolves go-style package patterns to package directories
+// (directories containing at least one .go file). Like the go tool, the
+// recursive walk skips testdata, vendor, and dot- or underscore-prefixed
+// directories.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			root, recursive = ".", true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			ok, err := hasGoFiles(root)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			if err := add(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			ok, err := hasGoFiles(path)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

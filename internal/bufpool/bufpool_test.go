@@ -125,6 +125,7 @@ func TestConcurrentGetPut(t *testing.T) {
 				b := Get(n)
 				if len(b) != n {
 					t.Errorf("len = %d, want %d", len(b), n)
+					Put(b)
 					return
 				}
 				b[0], b[n-1] = 1, 2

@@ -416,6 +416,7 @@ func TestExclusiveExecution(t *testing.T) {
 			if inside.Add(1) != 1 {
 				violations.Add(1)
 			}
+			//kmlint:ignore handlerblock this handler blocks on purpose to widen the race window the exclusivity test probes
 			time.Sleep(50 * time.Microsecond)
 			inside.Add(-1)
 			handled.Add(1)

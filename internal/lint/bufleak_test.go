@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestBufLeakSeededBugs(t *testing.T) {
+	runFixture(t, "testdata/bufleak/leak", []*Analyzer{BufLeak}, false)
+}
+
+func TestBufLeakCleanPatterns(t *testing.T) {
+	runFixture(t, "testdata/bufleak/clean", []*Analyzer{BufLeak}, false)
+}

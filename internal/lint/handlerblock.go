@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HandlerBlock enforces the cooperative scheduler's no-blocking-handler
+// rule (internal/kompics/component.go): a component executes at most one
+// handler at a time on a shared worker pool, so a handler that parks its
+// goroutine — time.Sleep, WaitGroup.Wait, raw socket I/O — stalls every
+// event queued behind it and, with enough stalled components, the whole
+// scheduler. The paper's throughput numbers assume handlers are short and
+// non-blocking; this check makes that assumption explicit at the
+// subscription site.
+//
+// Only function literals passed directly to Subscribe/SubscribeSelf are
+// inspected (handlers named elsewhere would need interprocedural
+// analysis); nested literals inside the handler — e.g. a goroutine the
+// handler spawns — may block freely, since they run off the scheduler.
+var HandlerBlock = &Analyzer{
+	Name: "handlerblock",
+	Doc:  "handlers passed to Subscribe/SubscribeSelf must not block the cooperative scheduler",
+	Run:  runHandlerBlock,
+}
+
+const kompicsPkg = "internal/kompics"
+
+func runHandlerBlock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if !methodIs(fn, kompicsPkg, "Context", "Subscribe") &&
+				!methodIs(fn, kompicsPkg, "Context", "SubscribeSelf") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkHandlerBody(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHandlerBody flags blocking calls made directly by the handler,
+// skipping nested function literals (goroutines the handler hands work to).
+func checkHandlerBody(pass *Pass, handler *ast.FuncLit) {
+	ast.Inspect(handler.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if reason := blockingCall(pass, call); reason != "" {
+			pass.Reportf(call.Pos(),
+				"%s inside a Subscribe handler blocks the cooperative scheduler; hand the work to a goroutine or use a timer event", reason)
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as scheduler-blocking, returning a short
+// description or "".
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	switch {
+	case funcIs(fn, "time", "Sleep"):
+		return "time.Sleep"
+	case methodIs(fn, "sync", "WaitGroup", "Wait"):
+		return "sync.WaitGroup.Wait"
+	case methodIs(fn, "sync", "Cond", "Wait"):
+		return "sync.Cond.Wait"
+	case isRealSocket(fn):
+		return "net." + fn.Name()
+	case isNetIOMethod(fn):
+		return "network " + fn.Name()
+	}
+	return ""
+}
+
+// isNetIOMethod matches the Read/Write/Accept-family methods on net (and
+// internal/udt) connection types — synchronous socket I/O.
+func isNetIOMethod(fn *types.Func) bool {
+	path := recvPkgPath(fn)
+	if path != "net" && !pathHasSuffix(path, "internal/udt") {
+		return false
+	}
+	name := fn.Name()
+	return name == "Accept" || name == "AcceptUDT" ||
+		strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHandlerBlockFixtures(t *testing.T) {
+	runFixture(t, "testdata/handlerblock/handlers", []*Analyzer{HandlerBlock}, false)
+}

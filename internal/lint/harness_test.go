@@ -1,0 +1,154 @@
+package lint
+
+// The fixture harness is kmlint's stand-in for x/tools' analysistest:
+// fixture files under testdata/<check>/ carry `// want "regex"` comments
+// on the lines where the check must fire (several regexes on one line mean
+// several findings), and the harness fails on any unmatched expectation or
+// unexpected diagnostic. Expectations match against "[check] message", so
+// fixtures can pin the check name as well as the wording. Fixtures
+// type-check against the real module packages (bufpool, kompics, clock)
+// through the loader, so a fixture that drifts from the real API fails
+// loudly as a typecheck diagnostic.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+	loaderErr    error
+)
+
+// fixtureLoader returns a process-wide loader so module dependencies
+// (bufpool, kompics, the stdlib) are type-checked once across all fixture
+// tests.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		sharedLoader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return sharedLoader
+}
+
+// expectation is one `// want` entry: a diagnostic that must appear on
+// file:line matching re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseExpectations scans fixture sources for // want comments. Each
+// quoted string after "want" is one expected diagnostic on that line.
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, path, pos.Line, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", path, pos.Line, q, err)
+					}
+					out = append(out, &expectation{file: path, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted strings from a want payload.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: malformed want clause at %q", file, line, s)
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want string %q", file, line, s)
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}
+
+// runFixture applies the named analyzers to one testdata directory and
+// checks every diagnostic against the fixture's want comments.
+func runFixture(t *testing.T, dir string, analyzers []*Analyzer, reportUnused bool) {
+	t.Helper()
+	loader := fixtureLoader(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(loader, []string{abs}, analyzers, reportUnused)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	// The loader records absolute file names; parse expectations from the
+	// same paths so they compare equal.
+	expects := parseExpectations(t, abs)
+	for _, d := range diags {
+		tagged := fmt.Sprintf("[%s] %s", d.Check, d.Message)
+		found := false
+		for _, ex := range expects {
+			if ex.matched || ex.file != d.Pos.Filename || ex.line != d.Pos.Line {
+				continue
+			}
+			if ex.re.MatchString(tagged) {
+				ex.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s:%d: %s", d.Pos.Filename, d.Pos.Line, tagged)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", ex.file, ex.line, ex.re)
+		}
+	}
+}

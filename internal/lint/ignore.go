@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. kmlint findings are meant to be fixed; when a
+// finding is a false positive the code cannot express its way out of
+// (e.g. buffer ownership decided by pointer aliasing the analyzer cannot
+// see), it is silenced with an audited directive that names the check and
+// records why:
+//
+//	//kmlint:ignore bufleak dst's array is owned by out when they alias
+//
+// A line directive suppresses matching findings on its own line and, when
+// the comment stands alone, on the line directly below — the two places
+// gofmt will keep it. A file directive anywhere in the file (by
+// convention, next to the package clause) suppresses the named check for
+// the whole file:
+//
+//	//kmlint:ignore-file simdet integration test drives real sockets
+//
+// Directives without a check name or a reason are themselves reported, as
+// are directives that no longer suppress anything; stale ignores are how
+// audited exceptions rot.
+
+const (
+	linePrefix = "//kmlint:ignore "
+	filePrefix = "//kmlint:ignore-file "
+)
+
+// directive is one parsed kmlint:ignore comment.
+type directive struct {
+	pos       token.Position
+	check     string
+	reason    string
+	fileWide  bool
+	malformed string // non-empty when the directive cannot be honoured
+	used      bool
+}
+
+// collectDirectives extracts every kmlint directive from the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseDirective(c.Text)
+				if d == nil {
+					continue
+				}
+				d.pos = fset.Position(c.Pos())
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective returns nil for non-directive comments and a (possibly
+// malformed) directive otherwise. The exact "//kmlint:" prefix is
+// required — "// kmlint:" is prose, matching the compiler's treatment of
+// //go: directives.
+func parseDirective(text string) *directive {
+	var rest string
+	var fileWide bool
+	switch {
+	case strings.HasPrefix(text, filePrefix):
+		rest, fileWide = text[len(filePrefix):], true
+	case strings.HasPrefix(text, linePrefix):
+		rest = text[len(linePrefix):]
+	case text == strings.TrimSuffix(linePrefix, " ") || text == strings.TrimSuffix(filePrefix, " "):
+		return &directive{malformed: "kmlint:ignore needs a check name and a reason"}
+	default:
+		return nil
+	}
+	check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	d := &directive{check: check, reason: strings.TrimSpace(reason), fileWide: fileWide}
+	switch {
+	case d.check == "":
+		d.malformed = "kmlint:ignore needs a check name and a reason"
+	case AnalyzerByName(d.check) == nil:
+		d.malformed = "kmlint:ignore names unknown check " + quoteCheck(d.check)
+	case d.reason == "":
+		d.malformed = "kmlint:ignore " + d.check + " needs a reason; suppressions are audited"
+	}
+	return d
+}
+
+// quoteCheck wraps a (identifier-shaped) check name for a message.
+func quoteCheck(s string) string { return `"` + s + `"` }
+
+// applySuppressions drops diagnostics covered by a directive, marking the
+// directives that did the covering.
+func applySuppressions(diags []Diagnostic, directives []*directive) []Diagnostic {
+	var kept []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.malformed != "" || d.check != diag.Check || d.pos.Filename != diag.Pos.Filename {
+				continue
+			}
+			if d.fileWide || d.pos.Line == diag.Pos.Line || d.pos.Line+1 == diag.Pos.Line {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}
+
+// directiveProblems reports malformed directives always and unused ones
+// when asked (only meaningful after the full suite ran).
+func directiveProblems(directives []*directive, reportUnused bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directives {
+		switch {
+		case d.malformed != "":
+			out = append(out, Diagnostic{Pos: d.pos, Check: "kmlint", Message: d.malformed})
+		case reportUnused && !d.used:
+			out = append(out, Diagnostic{
+				Pos:     d.pos,
+				Check:   "kmlint",
+				Message: "unused kmlint:ignore " + d.check + " directive (stale suppression?)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIgnoreFixtures runs the full suite with unused-directive reporting:
+// audited suppressions (line, trailing, file-wide) silence findings, and
+// stale or unknown-check directives become findings themselves.
+func TestIgnoreFixtures(t *testing.T) {
+	runFixture(t, "testdata/ignore", Analyzers(), true)
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		nil_      bool
+		fileWide  bool
+		check     string
+		malformed string // substring of the expected problem, "" if well-formed
+	}{
+		{text: "// ordinary comment", nil_: true},
+		// A space after // makes it prose, matching //go: directive rules.
+		{text: "// kmlint:ignore bufleak looks like a directive but is prose", nil_: true},
+		{text: "//kmlint:ignore bufleak audited because reasons", check: "bufleak"},
+		{text: "//kmlint:ignore-file simdet drives real sockets on purpose", check: "simdet", fileWide: true},
+		{text: "//kmlint:ignore", malformed: "needs a check name"},
+		{text: "//kmlint:ignore bufleak", malformed: "needs a reason"},
+		{text: "//kmlint:ignore nosuchcheck with a reason", malformed: "unknown check"},
+	}
+	for _, c := range cases {
+		d := parseDirective(c.text)
+		if c.nil_ {
+			if d != nil {
+				t.Errorf("parseDirective(%q) = %+v, want nil", c.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Errorf("parseDirective(%q) = nil, want a directive", c.text)
+			continue
+		}
+		if c.malformed != "" {
+			if !strings.Contains(d.malformed, c.malformed) {
+				t.Errorf("parseDirective(%q).malformed = %q, want substring %q", c.text, d.malformed, c.malformed)
+			}
+			continue
+		}
+		if d.malformed != "" {
+			t.Errorf("parseDirective(%q) unexpectedly malformed: %s", c.text, d.malformed)
+		}
+		if d.check != c.check || d.fileWide != c.fileWide {
+			t.Errorf("parseDirective(%q) = {check: %q, fileWide: %v}, want {%q, %v}",
+				c.text, d.check, d.fileWide, c.check, c.fileWide)
+		}
+	}
+}

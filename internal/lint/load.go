@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages for analysis without
+// golang.org/x/tools. Standard-library imports resolve through the
+// compiler's source importer; imports inside this module resolve by
+// type-checking the target directory's non-test sources recursively
+// (memoized). That is exactly the slice of the import universe the
+// repository can reach — go.mod declares no external dependencies, and
+// kmlint is one of the guards keeping it that way.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath and ModuleDir come from the enclosing go.mod.
+	ModulePath string
+	ModuleDir  string
+
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+// Package is one type-checked unit of analysis: either a directory's
+// package (with its in-package test files) or the directory's external
+// _test package.
+type Package struct {
+	Dir   string
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking failures; analysis proceeds
+	// on the partial information the checker could recover.
+	TypeErrors []TypeError
+}
+
+// TypeError is a type-checking failure with its position still in Fset
+// coordinates.
+type TypeError struct {
+	Fset *token.FileSet
+	Pos  token.Pos
+	Msg  string
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*types.Package{},
+	}, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns its
+// directory and module path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths type-check from
+// source (non-test files only, mirroring the go tool), everything else is
+// delegated to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")))
+		files, _, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("lint: no Go source in %s", dir)
+		}
+		pkg, _, errs := l.typeCheck(path, files)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking dependency %s: %s", path, errs[0].Msg)
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses a directory's .go files (ParseComments, so kmlint
+// directives and // want expectations survive), split into non-test files
+// and test files.
+func (l *Loader) parseDir(dir string) (base, tests []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			tests = append(tests, f)
+		} else {
+			base = append(base, f)
+		}
+	}
+	return base, tests, nil
+}
+
+// typeCheck runs go/types over files with soft error handling: analysis
+// wants whatever partial Info the checker can produce.
+func (l *Loader) typeCheck(path string, files []*ast.File) (*types.Package, *types.Info, []TypeError) {
+	var errs []TypeError
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if terr, ok := err.(types.Error); ok {
+				errs = append(errs, TypeError{Fset: l.Fset, Pos: terr.Pos, Msg: terr.Msg})
+				return
+			}
+			errs = append(errs, TypeError{Fset: l.Fset, Msg: err.Error()})
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return pkg, info, errs
+}
+
+// PathFor maps an absolute directory inside the module to its import
+// path. Directories outside any package tree (testdata fixtures) still
+// get a deterministic pseudo-path, which the simdet cone matching relies
+// on.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir parses and type-checks one directory for analysis. It returns
+// up to two packages: the directory's package including its in-package
+// test files, and the external _test package when one exists. An empty
+// directory yields no packages and no error.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	base, tests, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(tests) == 0 {
+		return nil, nil
+	}
+	path, err := l.PathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	baseName := ""
+	if len(base) > 0 {
+		baseName = base[0].Name.Name
+	}
+	var inPkg, external []*ast.File
+	inPkg = append(inPkg, base...)
+	for _, f := range tests {
+		if baseName != "" && f.Name.Name == baseName {
+			inPkg = append(inPkg, f)
+		} else if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			// Test files for a package with no non-test sources.
+			inPkg = append(inPkg, f)
+		}
+	}
+
+	var pkgs []*Package
+	if len(inPkg) > 0 {
+		tpkg, info, errs := l.typeCheck(path, inPkg)
+		pkgs = append(pkgs, &Package{
+			Dir: dir, Path: path, Name: inPkg[0].Name.Name,
+			Fset: l.Fset, Files: inPkg, Types: tpkg, Info: info, TypeErrors: errs,
+		})
+	}
+	if len(external) > 0 {
+		tpkg, info, errs := l.typeCheck(path+"_test", external)
+		pkgs = append(pkgs, &Package{
+			Dir: dir, Path: path + "_test", Name: external[0].Name.Name,
+			Fset: l.Fset, Files: external, Types: tpkg, Info: info, TypeErrors: errs,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoaderResolvesModulePackages(t *testing.T) {
+	loader := fixtureLoader(t)
+	if loader.ModulePath != "github.com/kompics/kompicsmessaging-go" {
+		t.Fatalf("module path = %q", loader.ModulePath)
+	}
+	dir := filepath.Join(loader.ModuleDir, "internal", "wire")
+	pkgs, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(internal/wire): %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadDir(internal/wire) returned no packages")
+	}
+	pkg := pkgs[0]
+	if pkg.Name != "wire" {
+		t.Errorf("package name = %q, want wire", pkg.Name)
+	}
+	if !strings.HasSuffix(pkg.Path, "internal/wire") {
+		t.Errorf("package path = %q", pkg.Path)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("unexpected type error: %s: %s", terr.Fset.Position(terr.Pos), terr.Msg)
+	}
+}
+
+// TestLoaderTypeChecksDependencies exercises the recursive module-internal
+// importer: internal/transport pulls in codec, wire, bufpool, and udt.
+func TestLoaderTypeChecksDependencies(t *testing.T) {
+	loader := fixtureLoader(t)
+	dir := filepath.Join(loader.ModuleDir, "internal", "transport")
+	pkgs, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(internal/transport): %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: unexpected type error: %s: %s", pkg.Path, terr.Fset.Position(terr.Pos), terr.Msg)
+		}
+	}
+}
+
+func TestPathForRejectsOutsideModule(t *testing.T) {
+	loader := fixtureLoader(t)
+	if _, err := loader.PathFor(filepath.Dir(loader.ModuleDir)); err == nil {
+		t.Fatal("PathFor outside the module succeeded, want error")
+	}
+}

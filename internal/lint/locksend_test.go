@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestLockSendSeededBugs(t *testing.T) {
+	runFixture(t, "testdata/locksend/bad", []*Analyzer{LockSend}, false)
+}
+
+func TestLockSendCleanPatterns(t *testing.T) {
+	runFixture(t, "testdata/locksend/clean", []*Analyzer{LockSend}, false)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDet enforces seeded determinism in the simulation cone. The packages
+// that stand in for the paper's EC2 testbed (§V) — netsim, rl, bench,
+// stats, vnet — must produce bit-identical runs for a given seed, which is
+// what makes their figures reproducible. Three stdlib conveniences break
+// that silently:
+//
+//   - time.Now / time.Sleep read the wall clock; simulation code takes an
+//     internal/clock.Clock (Virtual in tests) instead.
+//   - top-level math/rand functions draw from the global, racily-shared
+//     source; simulation code threads an explicitly seeded *rand.Rand.
+//   - net.Dial* / net.Listen* open real sockets; simulated topologies go
+//     through internal/vnet or internal/netsim links.
+//
+// Methods on a *rand.Rand value are fine — the point is the seed, not the
+// package.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc:  "simulation-cone packages must not use wall clocks, global rand, or real sockets",
+	Run:  runSimDet,
+}
+
+// simCone lists the package-path elements that mark a package as part of
+// the deterministic simulation cone.
+var simCone = map[string]bool{
+	"netsim": true,
+	"rl":     true,
+	"bench":  true,
+	"stats":  true,
+	"vnet":   true,
+}
+
+// inSimCone reports whether the import path has a cone element. The
+// "_test" suffix of external test packages is stripped so they are held to
+// the same standard as the package they test.
+func inSimCone(pkgPath string) bool {
+	for _, elem := range pkgPathElems(strings.TrimSuffix(pkgPath, "_test")) {
+		if simCone[elem] {
+			return true
+		}
+	}
+	return false
+}
+
+func runSimDet(pass *Pass) {
+	if !inSimCone(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case funcIs(fn, "time", "Now"):
+				pass.Reportf(call.Pos(),
+					"time.Now in simulation cone breaks determinism; take an internal/clock.Clock and call its Now")
+			case funcIs(fn, "time", "Sleep"):
+				pass.Reportf(call.Pos(),
+					"time.Sleep in simulation cone breaks determinism; advance an internal/clock.Virtual instead")
+			case isGlobalRand(fn):
+				pass.Reportf(call.Pos(),
+					"global math/rand.%s in simulation cone is unseeded and racy; thread a seeded *rand.Rand", fn.Name())
+			case isRealSocket(fn):
+				pass.Reportf(call.Pos(),
+					"net.%s opens a real socket in the simulation cone; route through internal/vnet or netsim links", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isGlobalRand matches top-level math/rand functions (the global source).
+// Methods on *rand.Rand have a receiver and pass, as do rand.New and the
+// source constructors, which exist precisely to escape the global source.
+func isGlobalRand(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "math/rand") {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// isRealSocket matches the package-level net dialers and listeners.
+func isRealSocket(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestSimDetFlagsConePackages(t *testing.T) {
+	runFixture(t, "testdata/simdet/netsim", []*Analyzer{SimDet}, false)
+}
+
+func TestSimDetIgnoresNonConePackages(t *testing.T) {
+	runFixture(t, "testdata/simdet/app", []*Analyzer{SimDet}, false)
+}
+
+func TestInSimCone(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/kompics/kompicsmessaging-go/internal/netsim", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/rl", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/vnet", true},
+		// External test packages are held to the same standard.
+		{"github.com/kompics/kompicsmessaging-go/internal/vnet_test", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/stats/quantile", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/transport", false},
+		// Matching is per path element, not substring.
+		{"github.com/kompics/kompicsmessaging-go/internal/benchmark", false},
+		{"github.com/kompics/kompicsmessaging-go/internal/vnetx", false},
+	}
+	for _, c := range cases {
+		if got := inSimCone(c.path); got != c.want {
+			t.Errorf("inSimCone(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package clean holds the corrected counterparts of the bufleak fixtures:
+// every pooled buffer reaches Put, a return, or a documented transfer
+// sink, so the analyzer must stay silent.
+package clean
+
+import (
+	"errors"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+)
+
+var errBoom = errors.New("boom")
+
+// errorPathPut is codec.ReadFrame's shape: recycle on the error path,
+// hand the buffer to the caller on success.
+func errorPathPut(ok bool) ([]byte, error) {
+	b := bufpool.Get(32)
+	if !ok {
+		bufpool.Put(b)
+		return nil, errBoom
+	}
+	return b, nil
+}
+
+// deferredPut covers the GetBuffer/PutBuffer pair through defer.
+func deferredPut() int {
+	w := bufpool.GetBuffer()
+	defer bufpool.PutBuffer(w)
+	w.WriteByte(1)
+	return w.Len()
+}
+
+// channelHandoff transfers ownership to the receiver.
+func channelHandoff(ch chan []byte) {
+	b := bufpool.Get(4)
+	b[0] = 1
+	ch <- b
+}
+
+type delivery struct {
+	OnMessage func([]byte)
+}
+
+// sinkCall transfers ownership through the documented OnMessage callback,
+// the transport inbound path's contract.
+func sinkCall(d delivery) {
+	b := bufpool.Get(4)
+	d.OnMessage(b)
+}
+
+// growAlias is transport.writeCoalesced's shape: append may reallocate,
+// but the result is rebound to the same variable and returned.
+func growAlias(extra []byte) []byte {
+	b := bufpool.Get(len(extra))[:0]
+	b = append(b, extra...)
+	return b
+}
+
+// storeField parks the buffer in a struct whose owner releases it later.
+type pending struct{ buf []byte }
+
+func storeField(p *pending) {
+	b := bufpool.Get(8)
+	p.buf = b
+}
+
+// switchAllArms releases on every arm including default.
+func switchAllArms(mode int, ch chan []byte) {
+	b := bufpool.Get(16)
+	switch mode {
+	case 0:
+		bufpool.Put(b)
+	case 1:
+		ch <- b
+	default:
+		bufpool.Put(b)
+	}
+}
+
+// goroutineHandoff gives the buffer to a goroutine that finishes with it.
+func goroutineHandoff() {
+	b := bufpool.Get(8)
+	go func() {
+		b[0] = 1
+		bufpool.Put(b)
+	}()
+}

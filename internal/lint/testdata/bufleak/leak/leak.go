@@ -1,0 +1,61 @@
+// Package leak seeds the bufleak bugs the analyzer must catch: each
+// function drops a pooled buffer on at least one path.
+package leak
+
+import (
+	"errors"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+)
+
+var errBoom = errors.New("boom")
+
+// earlyReturn is the classic wire-path bug: an error return between Get
+// and Put.
+func earlyReturn(fail bool) error {
+	b := bufpool.Get(64)
+	if fail {
+		return errBoom // want "can escape here without bufpool.Put"
+	}
+	bufpool.Put(b)
+	return nil
+}
+
+// dropped never releases at all; the finding lands on the Get.
+func dropped() {
+	b := bufpool.Get(8) // want "dropped when this block ends"
+	b[0] = 1
+}
+
+// overwritten loses the pooled buffer by rebinding the variable.
+func overwritten() []byte {
+	b := bufpool.Get(8)
+	b = make([]byte, 8) // want "overwritten before bufpool.Put"
+	return b
+}
+
+// partialSwitch releases on only one arm; the missing default leaks.
+func partialSwitch(mode int) {
+	b := bufpool.Get(16) // want "dropped when this block ends"
+	switch mode {
+	case 0:
+		bufpool.Put(b)
+	}
+}
+
+// discard shows that a blank assignment is not a transfer.
+func discard() {
+	b := bufpool.Get(4) // want "dropped when this block ends"
+	_ = b
+}
+
+// bufferVariant leaks a GetBuffer result the same way.
+func bufferVariant(fail bool) error {
+	w := bufpool.GetBuffer()
+	if fail {
+		return errBoom // want "can escape here without bufpool.Put"
+	}
+	w.WriteByte(1)
+	bufpool.PutBuffer(w)
+	return nil
+}

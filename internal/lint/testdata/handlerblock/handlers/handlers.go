@@ -1,0 +1,64 @@
+// Package handlers exercises the handlerblock check: function literals
+// passed to Subscribe/SubscribeSelf run on the cooperative scheduler and
+// must not park their worker goroutine.
+package handlers
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+)
+
+type tick struct{}
+
+func sleepy(ctx *kompics.Context, p *kompics.Port) {
+	ctx.Subscribe(p, tick{}, func(kompics.Event) {
+		time.Sleep(time.Millisecond) // want "time.Sleep inside a Subscribe handler"
+	})
+}
+
+func waity(ctx *kompics.Context, wg *sync.WaitGroup) {
+	ctx.SubscribeSelf(tick{}, func(kompics.Event) {
+		wg.Wait() // want "sync.WaitGroup.Wait inside a Subscribe handler"
+	})
+}
+
+func socketBound(ctx *kompics.Context, p *kompics.Port, conn net.Conn, buf []byte) {
+	ctx.Subscribe(p, tick{}, func(kompics.Event) {
+		conn.Read(buf) // want "network Read inside a Subscribe handler"
+	})
+}
+
+func dialer(ctx *kompics.Context, p *kompics.Port) {
+	ctx.Subscribe(p, tick{}, func(kompics.Event) {
+		if c, err := net.Dial("tcp", "127.0.0.1:1"); err == nil { // want "net.Dial inside a Subscribe handler"
+			c.Close()
+		}
+	})
+}
+
+// offloaded is the corrected shape: the handler returns immediately and a
+// spawned goroutine (off the scheduler) does the blocking work.
+func offloaded(ctx *kompics.Context, p *kompics.Port, wg *sync.WaitGroup) {
+	ctx.Subscribe(p, tick{}, func(kompics.Event) {
+		go func() {
+			time.Sleep(time.Millisecond)
+			wg.Wait()
+		}()
+	})
+}
+
+// short is an ordinary non-blocking handler.
+func short(ctx *kompics.Context, p *kompics.Port, counter *int) {
+	ctx.Subscribe(p, tick{}, func(kompics.Event) {
+		*counter++
+	})
+}
+
+// elsewhere shows the check is scoped to subscription sites: a plain
+// function literal may block.
+func elsewhere() func() {
+	return func() { time.Sleep(time.Millisecond) }
+}

@@ -1,0 +1,25 @@
+//kmlint:ignore-file bufleak fixture proves a file-wide directive covers every finding in the file
+
+package ignore
+
+import (
+	"errors"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+)
+
+var errFixture = errors.New("fixture")
+
+func leakOne() {
+	b := bufpool.Get(8)
+	b[0] = 1
+}
+
+func leakTwo(fail bool) error {
+	b := bufpool.Get(8)
+	if fail {
+		return errFixture
+	}
+	bufpool.Put(b)
+	return nil
+}

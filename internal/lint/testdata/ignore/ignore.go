@@ -1,0 +1,35 @@
+// Package ignore exercises the suppression directives: an audited line
+// ignore silences the finding on the next line, while malformed and stale
+// directives are themselves findings.
+package ignore
+
+import "github.com/kompics/kompicsmessaging-go/internal/bufpool"
+
+// suppressedLeak drops a buffer on purpose; the audited directive keeps
+// bufleak quiet.
+func suppressedLeak() {
+	//kmlint:ignore bufleak fixture proves an audited suppression silences the line below
+	b := bufpool.Get(8)
+	b[0] = 1
+}
+
+// sameLineSuppression puts the directive on the flagged line itself.
+func sameLineSuppression() {
+	b := bufpool.Get(8) //kmlint:ignore bufleak fixture proves a trailing suppression works too
+	b[0] = 1
+}
+
+// cleanWithStaleIgnore releases correctly, so its directive suppresses
+// nothing and must be reported as stale.
+func cleanWithStaleIgnore() {
+	//kmlint:ignore bufleak stale: nothing fires below anymore // want "unused kmlint:ignore bufleak directive"
+	b := bufpool.Get(8)
+	bufpool.Put(b)
+}
+
+// unknownCheck names a check that does not exist.
+func unknownCheck() {
+	//kmlint:ignore nosuchcheck reasons do not save an unknown name // want "unknown check"
+	b := bufpool.Get(8)
+	bufpool.Put(b)
+}

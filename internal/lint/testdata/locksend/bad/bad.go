@@ -1,0 +1,54 @@
+// Package bad seeds the locksend deadlock class: channel operations and
+// caller-supplied callbacks executed while a mutex is held without a
+// deferred unlock.
+package bad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	cb func()
+}
+
+func sendUnderLock(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func callbackUnderLock(b *box) {
+	b.mu.Lock()
+	if b.cb != nil {
+		b.cb() // want "callback through function value cb"
+	}
+	b.mu.Unlock()
+}
+
+// earlyExitStillHeld is the regression case for merge handling: the
+// early-return arm unlocks, but the fall-through path still holds the
+// lock when it sends.
+func earlyExitStillHeld(b *box, done bool) {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+		return
+	}
+	b.ch <- 2 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func selectSendUnderLock(b *box) {
+	b.mu.Lock()
+	select {
+	case b.ch <- 3: // want "channel send while holding b.mu"
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func rlockSend(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	ch <- 1 // want "channel send while holding mu"
+	mu.RUnlock()
+}

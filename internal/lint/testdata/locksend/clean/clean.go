@@ -1,0 +1,59 @@
+// Package clean holds the corrected counterparts of the locksend
+// fixtures; the analyzer must stay silent on all of them.
+package clean
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	cb func()
+}
+
+// deferredUnlock is exempt by design: a parked send still holds the lock,
+// but the deferred unlock survives panics and early returns, and the
+// pattern declares the critical section spans the whole function.
+func deferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1
+}
+
+// unlockThenSend is the fix kmlint pushes toward: copy under the lock,
+// unlock, then communicate.
+func unlockThenSend(b *box) {
+	b.mu.Lock()
+	v := len(b.ch)
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// unlockThenCallback snapshots the function value under the lock and
+// invokes it outside the critical section (udt.Conn.dispatch's shape).
+func unlockThenCallback(b *box) {
+	b.mu.Lock()
+	cb := b.cb
+	b.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// branchUnlock releases on both arms before any send.
+func branchUnlock(b *box, fast bool) {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		b.ch <- 1
+		return
+	}
+	b.mu.Unlock()
+	b.ch <- 2
+}
+
+// goroutineSend does not run under this goroutine's lock.
+func goroutineSend(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() { b.ch <- 1 }()
+}

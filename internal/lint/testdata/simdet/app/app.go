@@ -1,0 +1,17 @@
+// Package app is outside the simulation cone (no cone element in its
+// path), so wall-clock and socket use is out of simdet's scope here.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,32 @@
+// Package netsim (a fixture, not the real internal/netsim) sits inside the
+// simulation cone by virtue of its path element, so every wall-clock,
+// global-rand and real-socket call below must be flagged.
+package netsim
+
+import (
+	"math/rand"
+	"net"
+	"time"
+)
+
+func badClock() time.Time {
+	time.Sleep(time.Millisecond) // want "time.Sleep in simulation cone"
+	return time.Now()            // want "time.Now in simulation cone"
+}
+
+func badRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn in simulation cone"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func badSockets() {
+	if c, err := net.Dial("udp", "127.0.0.1:9"); err == nil { // want "net.Dial opens a real socket"
+		c.Close()
+	}
+	if l, err := net.Listen("tcp", "127.0.0.1:0"); err == nil { // want "net.Listen opens a real socket"
+		l.Close()
+	}
+}

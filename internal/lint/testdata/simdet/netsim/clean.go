@@ -1,0 +1,20 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+)
+
+// goodClock reads time through the injected clock — Virtual in tests.
+func goodClock(c clock.Clock) time.Time {
+	return c.Now()
+}
+
+// goodRand threads an explicitly seeded source; rand.New/NewSource are the
+// escape hatch from the global generator, and *rand.Rand methods are fine.
+func goodRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 	"github.com/kompics/kompicsmessaging-go/internal/core"
 	"github.com/kompics/kompicsmessaging-go/internal/kompics"
 )
@@ -144,6 +145,18 @@ func waitForListener(t *testing.T, port int) {
 }
 
 func TestPingPongOverLoopback(t *testing.T) {
+	// Arm bufpool's leak accounting for the whole exchange; registered
+	// before the systems' own Cleanups so the assertion runs (LIFO) after
+	// both nodes shut down and every wire buffer has been recycled.
+	bufpool.ResetStats()
+	bufpool.SetDebug(true)
+	t.Cleanup(func() {
+		bufpool.SetDebug(false)
+		if n := bufpool.Outstanding(); n != 0 {
+			t.Errorf("bufpool leak: %d buffer(s) outstanding after shutdown", n)
+		}
+	})
+
 	portA := freeTestPort(t)
 	portB := freeTestPort(t)
 	selfA := core.MustParseAddress(fmt.Sprintf("127.0.0.1:%d", portA))

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
 
@@ -23,6 +24,25 @@ func (c *collector) onMessage(p []byte) {
 	dup := make([]byte, len(p))
 	copy(dup, p)
 	c.msgs = append(c.msgs, dup)
+	// OnMessage owns p; returning it keeps the endpoints' pooled buffers
+	// cycling, which the leakCheck teardown asserts.
+	bufpool.Put(p)
+}
+
+// leakCheck arms bufpool's debug accounting for the test and asserts at
+// teardown that every pooled buffer taken on the wire path came back. It
+// must be registered before the endpoints' own Cleanup so that (LIFO) the
+// assertion runs after Close has drained and recycled in-flight buffers.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	bufpool.ResetStats()
+	bufpool.SetDebug(true)
+	t.Cleanup(func() {
+		bufpool.SetDebug(false)
+		if n := bufpool.Outstanding(); n != 0 {
+			t.Errorf("bufpool leak: %d buffer(s) outstanding after endpoint close", n)
+		}
+	})
 }
 
 func (c *collector) count() int {
@@ -41,6 +61,7 @@ func (c *collector) all() [][]byte {
 
 func newEndpointPair(t *testing.T) (a, b *Endpoint, ca, cb *collector) {
 	t.Helper()
+	leakCheck(t)
 	ca, cb = &collector{}, &collector{}
 	mk := func(col *collector) *Endpoint {
 		ep, err := NewEndpoint(Config{
@@ -59,6 +80,15 @@ func newEndpointPair(t *testing.T) (a, b *Endpoint, ca, cb *collector) {
 	b = mk(cb)
 	t.Cleanup(func() { a.Close(); b.Close() })
 	return a, b, ca, cb
+}
+
+// pooled copies s into a pool-owned buffer. Send recycles its payload
+// once the outcome is decided, so test payloads must come from the pool
+// for leakCheck's Get/Put accounting to balance.
+func pooled(s string) []byte {
+	b := bufpool.Get(len(s))
+	copy(b, s)
+	return b
 }
 
 func waitCount(t *testing.T, c *collector, n int) {
@@ -96,9 +126,9 @@ func TestSendReceiveEachProtocol(t *testing.T) {
 		t.Run(proto.String(), func(t *testing.T) {
 			a, b, _, cb := newEndpointPair(t)
 			_ = a
-			payload := []byte("hello over " + proto.String())
+			want := "hello over " + proto.String()
 			done := make(chan error, 1)
-			a.Send(proto, b.Addr(proto), payload, func(err error) { done <- err })
+			a.Send(proto, b.Addr(proto), pooled(want), func(err error) { done <- err })
 			select {
 			case err := <-done:
 				if err != nil {
@@ -108,7 +138,7 @@ func TestSendReceiveEachProtocol(t *testing.T) {
 				t.Fatal("no send notification")
 			}
 			waitCount(t, cb, 1)
-			if !bytes.Equal(cb.all()[0], payload) {
+			if !bytes.Equal(cb.all()[0], []byte(want)) {
 				t.Fatalf("received %q", cb.all()[0])
 			}
 		})
@@ -122,7 +152,7 @@ func TestManyMessagesKeepOrderOnStreams(t *testing.T) {
 			a, b, _, cb := newEndpointPair(t)
 			const n = 200
 			for i := 0; i < n; i++ {
-				a.Send(proto, b.Addr(proto), []byte(fmt.Sprintf("msg-%04d", i)), nil)
+				a.Send(proto, b.Addr(proto), pooled(fmt.Sprintf("msg-%04d", i)), nil)
 			}
 			waitCount(t, cb, n)
 			for i, m := range cb.all() {
@@ -137,7 +167,7 @@ func TestManyMessagesKeepOrderOnStreams(t *testing.T) {
 func TestChannelReuse(t *testing.T) {
 	a, b, _, cb := newEndpointPair(t)
 	for i := 0; i < 5; i++ {
-		a.Send(wire.TCP, b.Addr(wire.TCP), []byte{byte(i)}, nil)
+		a.Send(wire.TCP, b.Addr(wire.TCP), pooled(string(rune(i))), nil)
 	}
 	waitCount(t, cb, 5)
 	a.mu.Lock()
@@ -152,7 +182,7 @@ func TestNotifyFailureOnDeadDestination(t *testing.T) {
 	a, _, _, _ := newEndpointPair(t)
 	done := make(chan error, 1)
 	// TCP dial to a port that is not listening fails fast on loopback.
-	a.Send(wire.TCP, "127.0.0.1:1", []byte("x"), func(err error) { done <- err })
+	a.Send(wire.TCP, "127.0.0.1:1", pooled("x"), func(err error) { done <- err })
 	select {
 	case err := <-done:
 		if err == nil {
@@ -173,7 +203,7 @@ func TestRedialAfterFailure(t *testing.T) {
 	b.Close()
 
 	failed := make(chan error, 1)
-	a.Send(wire.TCP, addr, []byte("x"), func(err error) { failed <- err })
+	a.Send(wire.TCP, addr, pooled("x"), func(err error) { failed <- err })
 	select {
 	case <-failed:
 	case <-time.After(10 * time.Second):
@@ -193,7 +223,7 @@ func TestRedialAfterFailure(t *testing.T) {
 	}
 	defer ep2.Close()
 	ok := make(chan error, 1)
-	a.Send(wire.TCP, ep2.Addr(wire.TCP), []byte("y"), func(err error) { ok <- err })
+	a.Send(wire.TCP, ep2.Addr(wire.TCP), pooled("y"), func(err error) { ok <- err })
 	select {
 	case err := <-ok:
 		if err != nil {
@@ -207,14 +237,14 @@ func TestRedialAfterFailure(t *testing.T) {
 
 func TestOversizePayloadRejected(t *testing.T) {
 	a, b, _, _ := newEndpointPair(t)
-	big := make([]byte, a.cfg.MaxFrame+1)
+	big := bufpool.Get(a.cfg.MaxFrame + 1)
 	done := make(chan error, 1)
 	a.Send(wire.TCP, b.Addr(wire.TCP), big, func(err error) { done <- err })
 	if err := <-done; !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 
-	udpBig := make([]byte, maxUDPPayload+1)
+	udpBig := bufpool.Get(maxUDPPayload + 1)
 	a.Send(wire.UDP, b.Addr(wire.UDP), udpBig, func(err error) { done <- err })
 	if err := <-done; !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("udp err = %v, want ErrTooLarge", err)
@@ -224,7 +254,7 @@ func TestOversizePayloadRejected(t *testing.T) {
 func TestSendUnsupportedProtocol(t *testing.T) {
 	a, b, _, _ := newEndpointPair(t)
 	done := make(chan error, 1)
-	a.Send(wire.DATA, b.Addr(wire.TCP), []byte("x"), func(err error) { done <- err })
+	a.Send(wire.DATA, b.Addr(wire.TCP), pooled("x"), func(err error) { done <- err })
 	if err := <-done; !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
@@ -236,7 +266,7 @@ func TestSendAfterClose(t *testing.T) {
 	a.Close()
 	a.Close() // idempotent
 	done := make(chan error, 1)
-	a.Send(wire.TCP, addr, []byte("x"), func(err error) { done <- err })
+	a.Send(wire.TCP, addr, pooled("x"), func(err error) { done <- err })
 	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -251,7 +281,7 @@ func TestConcurrentSenders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				a.Send(wire.TCP, b.Addr(wire.TCP), []byte("m"), nil)
+				a.Send(wire.TCP, b.Addr(wire.TCP), pooled("m"), nil)
 			}
 		}()
 	}
@@ -261,8 +291,8 @@ func TestConcurrentSenders(t *testing.T) {
 
 func TestBidirectionalTraffic(t *testing.T) {
 	a, b, ca, cb := newEndpointPair(t)
-	a.Send(wire.TCP, b.Addr(wire.TCP), []byte("a→b"), nil)
-	b.Send(wire.TCP, a.Addr(wire.TCP), []byte("b→a"), nil)
+	a.Send(wire.TCP, b.Addr(wire.TCP), pooled("a->b"), nil)
+	b.Send(wire.TCP, a.Addr(wire.TCP), pooled("b->a"), nil)
 	waitCount(t, cb, 1)
 	waitCount(t, ca, 1)
 }

@@ -413,8 +413,11 @@ func (c *Conn) sendOne(buf []byte) (bool, int) {
 	} else {
 		c.statRetransmits++
 	}
-	drop := c.cfg.LossInjector != nil && c.cfg.LossInjector()
 	c.mu.Unlock()
+	// cfg is immutable after construction, so the injector can run after
+	// the unlock; calling a caller-supplied hook under c.mu could deadlock
+	// if the hook touches the connection.
+	drop := c.cfg.LossInjector != nil && c.cfg.LossInjector()
 
 	n := dataHeaderLen + len(payload)
 	if !drop {

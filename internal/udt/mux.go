@@ -183,23 +183,26 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		}
 	}()
 
-	// Handshake with retry.
+	// Handshake with retry: resend on a ticker until the peer's response
+	// closes establishedCh or the overall timer fires. Both waits park on
+	// channels — no clock polling.
 	hs := encodeHandshake(ctlHandshake, conn.sndNextSeq, uint32(conn.cfg.RcvBuffer))
-	deadline := time.Now().Add(conn.cfg.HandshakeTimeout)
+	timeout := time.NewTimer(conn.cfg.HandshakeTimeout)
+	defer timeout.Stop()
+	retry := time.NewTicker(100 * time.Millisecond)
+	defer retry.Stop()
 	established := false
-	for time.Now().Before(deadline) {
-		conn.send(hs)
+	conn.send(hs)
+	for !established {
 		select {
 		case <-conn.establishedCh:
 			established = true
-		case <-time.After(100 * time.Millisecond):
-			continue
+		case <-retry.C:
+			conn.send(hs)
+		case <-timeout.C:
+			sock.Close()
+			return nil, errHandshakeTimeout
 		}
-		break
-	}
-	if !established {
-		sock.Close()
-		return nil, errHandshakeTimeout
 	}
 	conn.start()
 	return conn, nil

@@ -1,3 +1,5 @@
+//kmlint:ignore-file simdet this file deliberately crosses the sim boundary: it validates vnet against real OS sockets and wall-clock pacing
+
 package vnet
 
 import (

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTransportString(t *testing.T) {
+	cases := []struct {
+		tr   Transport
+		want string
+	}{
+		{UDP, "UDP"},
+		{TCP, "TCP"},
+		{UDT, "UDT"},
+		{DATA, "DATA"},
+		{Transport(0), "Transport(0)"},
+		{Transport(5), "Transport(5)"},
+		{Transport(-1), "Transport(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.tr.String(); got != c.want {
+			t.Errorf("Transport(%d).String() = %q, want %q", int(c.tr), got, c.want)
+		}
+		// The enum is carried in message headers and surfaces in logs via
+		// %v; both must agree with String.
+		if got := fmt.Sprintf("%v", c.tr); got != c.want {
+			t.Errorf("Sprintf(%%v, Transport(%d)) = %q, want %q", int(c.tr), got, c.want)
+		}
+	}
+}
+
+// TestTransportStringRoundTrip pins the name/value association both ways
+// for every declared transport: each name is unique and maps back to the
+// value it came from.
+func TestTransportStringRoundTrip(t *testing.T) {
+	declared := []Transport{UDP, TCP, UDT, DATA}
+	byName := make(map[string]Transport, len(declared))
+	for _, tr := range declared {
+		name := tr.String()
+		if prev, dup := byName[name]; dup {
+			t.Fatalf("transports %d and %d share the name %q", int(prev), int(tr), name)
+		}
+		byName[name] = tr
+	}
+	for name, tr := range byName {
+		if got := tr.String(); got != name {
+			t.Errorf("round trip for %q: got %q", name, got)
+		}
+	}
+}
+
+func TestTransportValidAndWire(t *testing.T) {
+	cases := []struct {
+		tr    Transport
+		valid bool
+		wire  bool
+	}{
+		{UDP, true, true},
+		{TCP, true, true},
+		{UDT, true, true},
+		// DATA is the adaptive pseudo-protocol: a legal header value, but
+		// not resolvable to a socket without the interceptor.
+		{DATA, true, false},
+		{Transport(0), false, false},
+		{Transport(5), false, false},
+		{Transport(-1), false, false},
+	}
+	for _, c := range cases {
+		if got := c.tr.Valid(); got != c.valid {
+			t.Errorf("Transport(%d).Valid() = %v, want %v", int(c.tr), got, c.valid)
+		}
+		if got := c.tr.Wire(); got != c.wire {
+			t.Errorf("Transport(%d).Wire() = %v, want %v", int(c.tr), got, c.wire)
+		}
+	}
+}
