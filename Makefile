@@ -5,14 +5,17 @@
 #   make lint           kmlint static analyzer suite only
 #   make bench-hotpath  rerun the wire hot-path benchmarks and refresh the
 #                       "current" section of BENCH_hotpath.json
+#   make bench-udt      rerun the UDT data-path benchmarks and refresh the
+#                       "current" section of BENCH_udt.json
 #   make bench          full benchmark sweep (figures + ablations)
 
 GO ?= go
 
 HOTPATH_PKGS = ./internal/core/ ./internal/transport/
 HOTPATH_OUT  = BENCH_hotpath.out
+UDT_OUT      = BENCH_udt.out
 
-.PHONY: check test build vet lint bench bench-hotpath
+.PHONY: check test build vet lint bench bench-hotpath bench-udt
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -33,6 +36,11 @@ bench-hotpath:
 	$(GO) test -bench WirePath -run '^$$' -benchmem $(HOTPATH_PKGS) | tee $(HOTPATH_OUT)
 	$(GO) run ./cmd/benchjson -label current -out BENCH_hotpath.json < $(HOTPATH_OUT)
 	@rm -f $(HOTPATH_OUT)
+
+bench-udt:
+	$(GO) test -bench UDT -run '^$$' -benchmem -benchtime 2s . | tee $(UDT_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_udt.json < $(UDT_OUT)
+	@rm -f $(UDT_OUT)
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -291,6 +292,64 @@ func BenchmarkUDTLoopback(b *testing.B) {
 func timeAfterClose(c interface{ Close() error }, done chan struct{}) chan struct{} {
 	c.Close()
 	return done
+}
+
+// BenchmarkUDTBulkTransfer measures a sustained large transfer end to end:
+// each op streams 8 MiB client→server over loopback and waits for the
+// server's one-byte receipt, so the number includes retransmission, ACK
+// cadence and receive-side reassembly — the §V-C bulk-data path.
+func BenchmarkUDTBulkTransfer(b *testing.B) {
+	const size = 8 << 20
+	l, err := udt.Listen("127.0.0.1:0", udt.Config{MaxRate: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 256<<10)
+		for {
+			left := size
+			for left > 0 {
+				n, err := conn.Read(buf)
+				if err != nil {
+					return
+				}
+				left -= n
+			}
+			if _, err := conn.Write(buf[:1]); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := udt.Dial(l.Addr().String(), udt.Config{MaxRate: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	chunk := make([]byte, 256<<10)
+	receipt := make([]byte, 1)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for sent := 0; sent < size; sent += len(chunk) {
+			if _, err := client.Write(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := io.ReadFull(client, receipt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	<-timeAfterClose(client, done)
 }
 
 // BenchmarkLearnerBackends measures learning-step cost for the three

@@ -39,8 +39,12 @@ const bufpoolPkg = "internal/bufpool"
 // transferSinks are call targets that take ownership of a buffer argument
 // by documented contract. OnMessage is transport.Config's inbound delivery
 // callback: ownership of the payload buffer passes to the callback.
+// storeOwned is udt's ring-window insertion (pktRing.storeOwned): the ring
+// owns the payload until take/drain hands it back, and every type spelling
+// a method that way opts into the same contract.
 var transferSinks = map[string]bool{
-	"OnMessage": true,
+	"OnMessage":  true,
+	"storeOwned": true,
 }
 
 func runBufLeak(pass *Pass) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -139,9 +140,15 @@ func (l *Loader) parseDir(dir string) (base, tests []*ast.File, err error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if !matchFileName(name, runtime.GOOS, runtime.GOARCH) {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, nil, err
+		}
+		if !matchBuildTags(f) {
+			continue
 		}
 		if strings.HasSuffix(name, "_test.go") {
 			tests = append(tests, f)
@@ -150,6 +157,78 @@ func (l *Loader) parseDir(dir string) (base, tests []*ast.File, err error) {
 		}
 	}
 	return base, tests, nil
+}
+
+// Build-constraint filtering: packages under analysis may carry
+// platform-specific files (e.g. internal/udt's sendmmsg fast path), and
+// type-checking two mutually exclusive variants together produces
+// redeclaration errors. Selection mirrors the go tool for the host
+// platform — filename GOOS/GOARCH suffixes plus //go:build lines.
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// matchFileName applies go's implicit filename constraints: a trailing
+// _GOOS, _GOARCH, or _GOOS_GOARCH component restricts the file to that
+// platform. The first component never counts ("linux.go" is unconstrained).
+func matchFileName(name, goos, goarch string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	parts := strings.Split(name, "_")
+	if len(parts) >= 3 && knownOS[parts[len(parts)-2]] && knownArch[parts[len(parts)-1]] {
+		return parts[len(parts)-2] == goos && parts[len(parts)-1] == goarch
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownOS[last] {
+			return last == goos
+		}
+		if knownArch[last] {
+			return last == goarch
+		}
+	}
+	return true
+}
+
+// matchBuildTags evaluates a file's //go:build line (if any) for the host
+// platform. Only comments above the package clause are considered.
+func matchBuildTags(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					return knownOS[runtime.GOOS] && runtime.GOOS != "windows" &&
+						runtime.GOOS != "plan9" && runtime.GOOS != "js" && runtime.GOOS != "wasip1"
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // typeCheck runs go/types over files with soft error handling: analysis

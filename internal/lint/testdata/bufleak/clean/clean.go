@@ -85,3 +85,24 @@ func goroutineHandoff() {
 		bufpool.Put(b)
 	}()
 }
+
+// ringLike mimics udt's pktRing: storeOwned is a documented transfer sink,
+// so parking a pooled payload in the ring satisfies the contract.
+type ringLike struct{ slots [][]byte }
+
+func (r *ringLike) storeOwned(seq uint32, buf []byte) bool {
+	i := int(seq) % len(r.slots)
+	if r.slots[i] != nil {
+		return false
+	}
+	r.slots[i] = buf
+	return true
+}
+
+// ringStore is udt handleData's shape: copy the datagram payload into a
+// pooled buffer and hand it to the receive window.
+func ringStore(r *ringLike, seq uint32, payload []byte) {
+	b := bufpool.Get(len(payload))
+	copy(b, payload)
+	r.storeOwned(seq, b)
+}

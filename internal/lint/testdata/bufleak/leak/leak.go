@@ -59,3 +59,25 @@ func bufferVariant(fail bool) error {
 	bufpool.PutBuffer(w)
 	return nil
 }
+
+// ringLike mirrors the clean fixture's ring type.
+type ringLike struct{ slots [][]byte }
+
+func (r *ringLike) storeOwned(seq uint32, buf []byte) bool {
+	i := int(seq) % len(r.slots)
+	if r.slots[i] != nil {
+		return false
+	}
+	r.slots[i] = buf
+	return true
+}
+
+// ringStoreConditional transfers on only one arm; the other drops the
+// pooled buffer on the floor.
+func ringStoreConditional(r *ringLike, seq uint32, payload []byte, dup bool) {
+	b := bufpool.Get(len(payload)) // want "dropped when this block ends"
+	copy(b, payload)
+	if !dup {
+		r.storeOwned(seq, b)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/udt"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
 
@@ -26,9 +27,11 @@ func benchLoopback(b *testing.B, proto wire.Transport, size int) {
 	var received atomic.Int64
 	done := make(chan struct{}, 1)
 	target := int64(b.N)
+	benchUDT := udt.Config{MaxRate: 1 << 30}
 	recv, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{proto},
+		UDT:        benchUDT,
 		OnMessage: func(payload []byte) {
 			bufpool.Put(payload) // receiver owns the buffer; recycle it
 			if received.Add(1) == target {
@@ -50,6 +53,7 @@ func benchLoopback(b *testing.B, proto wire.Transport, size int) {
 	send, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{proto},
+		UDT:        benchUDT,
 		OnMessage:  func([]byte) {},
 	})
 	if err != nil {
@@ -78,8 +82,8 @@ func benchLoopback(b *testing.B, proto wire.Transport, size int) {
 	if err := <-sent; err != nil {
 		b.Fatal(err)
 	}
-	if proto == wire.TCP {
-		<-done
+	if proto != wire.UDP {
+		<-done // reliable streams (TCP, UDT) wait for full receipt
 	}
 	b.StopTimer()
 }
@@ -90,6 +94,17 @@ func BenchmarkWirePathTCPLoopback(b *testing.B) {
 	for _, size := range []int{1 << 10, 64 << 10} {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			benchLoopback(b, wire.TCP, size)
+		})
+	}
+}
+
+// BenchmarkWirePathUDTLoopback measures framed sends over the userspace
+// UDT stream (paced, ACKed, reassembled), end to end to OnMessage — the
+// per-message cost of the paper's bulk-data transport choice.
+func BenchmarkWirePathUDTLoopback(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchLoopback(b, wire.UDT, size)
 		})
 	}
 }

@@ -1,0 +1,24 @@
+package udt
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+)
+
+// Syscall batching (sendmmsg/recvmmsg) is a Linux/64-bit fast path; every
+// use site has a portable sequential fallback so the package builds and
+// behaves identically everywhere. Batching can be force-disabled — even on
+// Linux — by setting KM_UDT_NOBATCH in the environment, which routes all
+// traffic through the fallback path (used in CI to test it on Linux too).
+var batchingDisabled atomic.Bool
+
+func init() {
+	if os.Getenv("KM_UDT_NOBATCH") != "" {
+		batchingDisabled.Store(true)
+	}
+}
+
+// errBatchUnsupported reports that batched reads are unavailable on this
+// platform or socket; callers fall back to single-datagram reads.
+var errBatchUnsupported = errors.New("udt: batched socket I/O unsupported")

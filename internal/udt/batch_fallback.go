@@ -1,0 +1,28 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udt
+
+// Portable stubs: platforms without sendmmsg/recvmmsg batching (or without
+// the 64-bit mmsghdr layout batch_linux.go assumes) construct no batchers,
+// so every use site takes its sequential path.
+
+import (
+	"net"
+	"net/netip"
+)
+
+type mmsgSender struct{}
+
+func newMmsgSender(*net.UDPConn, netip.AddrPort, bool) *mmsgSender { return nil }
+
+func (*mmsgSender) send([][]byte) bool { return false }
+
+type batchReader struct{}
+
+func newBatchReader(*net.UDPConn) *batchReader { return nil }
+
+func (*batchReader) read() (int, error) { return 0, errBatchUnsupported }
+
+func (*batchReader) payload(int) []byte { return nil }
+
+func (*batchReader) addr(int) netip.AddrPort { return netip.AddrPort{} }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udt
+
+// sendmmsg postdates the stdlib syscall table freeze, so both numbers are
+// spelled out here (from arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysSendmmsg uintptr = 307
+	sysRecvmmsg uintptr = 299
+)

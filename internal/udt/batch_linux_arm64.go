@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udt
+
+// sendmmsg postdates the stdlib syscall table freeze, so both numbers are
+// spelled out here (from include/uapi/asm-generic/unistd.h).
+const (
+	sysSendmmsg uintptr = 269
+	sysRecvmmsg uintptr = 243
+)

@@ -1,12 +1,16 @@
 package udt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 )
 
 // synInterval is UDT's fixed 10 ms control cadence: ACKs are emitted and
@@ -87,33 +91,60 @@ func (timeoutError) Error() string   { return "udt: i/o timeout" }
 func (timeoutError) Timeout() bool   { return true }
 func (timeoutError) Temporary() bool { return true }
 
+// maxIdleSegCap bounds the capacity retained by a fully-drained receive
+// segment queue, so one burst does not pin memory forever.
+const maxIdleSegCap = 1024
+
 // Conn is a reliable, ordered byte stream over UDP implementing net.Conn.
+//
+// Buffer ownership (DESIGN.md §10): every payload byte queued for sending
+// or buffered for delivery lives in a bufpool buffer. Write copies caller
+// bytes into pooled chunks; the chunk is owned by sndQueue, then by the
+// sndUnacked ring, and returns to the pool when the cumulative ACK passes
+// it (or at teardown). On the receive side handleData copies the datagram
+// payload into a pooled buffer owned by the rcvOOO ring, drainContiguous
+// moves it to the in-order segment queue, and Read recycles each segment
+// once the application has consumed it.
 type Conn struct {
 	udp        *net.UDPConn
-	raddr      *net.UDPAddr
+	raddr      netip.AddrPort
 	ownsSocket bool
 	onClose    func() // mux unregistration
 	cfg        Config
+
+	// mmsg batches data-packet sends with sendmmsg where available; nil
+	// means one syscall per packet. Only the sender goroutine touches it
+	// after start.
+	mmsg *mmsgSender
 
 	mu        sync.Mutex
 	readCond  *sync.Cond
 	writeCond *sync.Cond
 
-	// Sender state.
+	// Sender state. sndUnacked holds in-flight pooled payloads indexed by
+	// sequence number; loss is the sorted retransmission schedule.
 	sndQueue      [][]byte
 	sndQueueBytes int
-	sndUnacked    map[uint32][]byte
-	lossList      []uint32
+	sndUnacked    *pktRing
+	loss          lossRanges
 	sndNextSeq    uint32
 	sndFirstUnack uint32
 	peerWindow    int
 	rate          float64
+	// slowStart mirrors UDT's start-up phase: the rate doubles on each
+	// loss-free ACK until the first loss event (NAK or EXP), then the
+	// controller switches to DAIMD's additive increase.
+	slowStart bool
 
-	// Receiver state.
+	// Receiver state. rcvOOO holds out-of-order pooled payloads; in-order
+	// segments queue in rcvSegs[rcvSegHead:] with rcvSegOff bytes of the
+	// head segment already consumed by Read.
 	rcvNextSeq uint32
 	rcvLargest uint32 // next seq never seen (upper frontier)
-	rcvOOO     map[uint32][]byte
-	readBuf    []byte
+	rcvOOO     *pktRing
+	rcvSegs    [][]byte
+	rcvSegHead int
+	rcvSegOff  int
 	lastAcked  uint32
 
 	// Lifecycle.
@@ -137,17 +168,18 @@ type Conn struct {
 
 var _ net.Conn = (*Conn)(nil)
 
-func newConn(udp *net.UDPConn, raddr *net.UDPAddr, ownsSocket bool, cfg Config) *Conn {
+func newConn(udp *net.UDPConn, raddr netip.AddrPort, ownsSocket bool, cfg Config) *Conn {
 	cfg = cfg.withDefaults()
 	c := &Conn{
 		udp:           udp,
 		raddr:         raddr,
 		ownsSocket:    ownsSocket,
 		cfg:           cfg,
-		sndUnacked:    make(map[uint32][]byte),
-		rcvOOO:        make(map[uint32][]byte),
+		sndUnacked:    newPktRing(cfg.MaxFlowWindow),
+		rcvOOO:        newPktRing(cfg.RcvBuffer),
 		peerWindow:    cfg.MaxFlowWindow,
 		rate:          cfg.InitialRate,
+		slowStart:     true,
 		establishedCh: make(chan struct{}),
 		done:          make(chan struct{}),
 		kick:          make(chan struct{}, 1),
@@ -159,6 +191,7 @@ func newConn(udp *net.UDPConn, raddr *net.UDPAddr, ownsSocket bool, cfg Config) 
 
 // start launches the sender and ACK loops once the handshake completed.
 func (c *Conn) start() {
+	c.mmsg = newMmsgSender(c.udp, c.raddr, c.ownsSocket)
 	c.wg.Add(2)
 	go c.senderLoop()
 	go c.ackLoop()
@@ -168,11 +201,11 @@ func (c *Conn) start() {
 
 // Read implements net.Conn: it returns buffered in-order bytes, blocking
 // until data arrives, the peer shuts down (io.EOF) or the read deadline
-// expires.
+// expires. Consumed segments return to bufpool.
 func (c *Conn) Read(b []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for len(c.readBuf) == 0 {
+	for c.rcvSegHead == len(c.rcvSegs) {
 		if c.closed {
 			return 0, ErrClosed
 		}
@@ -184,10 +217,21 @@ func (c *Conn) Read(b []byte) (int, error) {
 		}
 		c.waitRead()
 	}
-	n := copy(b, c.readBuf)
-	c.readBuf = c.readBuf[n:]
-	if len(c.readBuf) == 0 {
-		c.readBuf = nil // release the backing array
+	n := 0
+	for n < len(b) && c.rcvSegHead < len(c.rcvSegs) {
+		seg := c.rcvSegs[c.rcvSegHead]
+		k := copy(b[n:], seg[c.rcvSegOff:])
+		n += k
+		c.rcvSegOff += k
+		if c.rcvSegOff == len(seg) {
+			c.rcvSegs[c.rcvSegHead] = nil
+			c.rcvSegHead++
+			c.rcvSegOff = 0
+			bufpool.Put(seg)
+		}
+	}
+	if c.rcvSegHead == len(c.rcvSegs) && cap(c.rcvSegs) > maxIdleSegCap {
+		c.rcvSegs, c.rcvSegHead = nil, 0
 	}
 	return n, nil
 }
@@ -204,45 +248,58 @@ func (c *Conn) waitRead() {
 	}
 }
 
-// Write implements net.Conn: it splits b into MSS-sized packets and queues
-// them for paced transmission, blocking while the send queue is full.
+// pushSeg appends an in-order pooled segment for Read. Caller holds mu.
+func (c *Conn) pushSeg(p []byte) {
+	if c.rcvSegHead == len(c.rcvSegs) {
+		// Fully drained: reuse the array from the start.
+		c.rcvSegs = c.rcvSegs[:0]
+		c.rcvSegHead = 0
+	}
+	c.rcvSegs = append(c.rcvSegs, p)
+}
+
+// segCount is the number of undelivered segments. Caller holds mu.
+func (c *Conn) segCount() int { return len(c.rcvSegs) - c.rcvSegHead }
+
+// Write implements net.Conn: it splits b into MSS-sized packets, copies
+// each into a pooled buffer and queues them for paced transmission,
+// blocking while the send queue is full. The whole call takes the lock
+// once (plus once per backpressure stall), not once per chunk.
 func (c *Conn) Write(b []byte) (int, error) {
 	total := 0
+	c.mu.Lock()
 	for len(b) > 0 {
+		for c.sndQueueBytes >= c.cfg.SndQueue {
+			if c.closed || c.peerClosed {
+				c.mu.Unlock()
+				return total, ErrClosed
+			}
+			if !c.writeDeadline.IsZero() && !time.Now().Before(c.writeDeadline) {
+				c.mu.Unlock()
+				return total, ErrTimeout
+			}
+			c.waitWrite()
+		}
+		if c.closed || c.peerClosed {
+			c.mu.Unlock()
+			return total, ErrClosed
+		}
 		chunk := b
 		if len(chunk) > mssPayload {
 			chunk = chunk[:mssPayload]
 		}
-		if err := c.queueChunk(chunk); err != nil {
-			return total, err
-		}
+		dup := bufpool.Get(len(chunk))
+		copy(dup, chunk)
+		c.sndQueue = append(c.sndQueue, dup)
+		c.sndQueueBytes += len(dup)
 		total += len(chunk)
 		b = b[len(chunk):]
 	}
-	c.kickSender()
+	c.mu.Unlock()
+	if total > 0 {
+		c.kickSender()
+	}
 	return total, nil
-}
-
-func (c *Conn) queueChunk(chunk []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for c.sndQueueBytes >= c.cfg.SndQueue {
-		if c.closed || c.peerClosed {
-			return ErrClosed
-		}
-		if !c.writeDeadline.IsZero() && !time.Now().Before(c.writeDeadline) {
-			return ErrTimeout
-		}
-		c.waitWrite()
-	}
-	if c.closed || c.peerClosed {
-		return ErrClosed
-	}
-	dup := make([]byte, len(chunk))
-	copy(dup, chunk)
-	c.sndQueue = append(c.sndQueue, dup)
-	c.sndQueueBytes += len(dup)
-	return nil
 }
 
 func (c *Conn) waitWrite() {
@@ -264,7 +321,8 @@ func (c *Conn) kickSender() {
 }
 
 // Close implements net.Conn: it lingers until queued data drains (bounded
-// by LingerTimeout), notifies the peer and releases resources.
+// by LingerTimeout), notifies the peer, recycles every pooled buffer the
+// connection still owns and releases resources.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -273,12 +331,13 @@ func (c *Conn) Close() error {
 	}
 	// Linger: wait for the sender to flush queue and retransmissions.
 	deadline := time.Now().Add(c.cfg.LingerTimeout)
-	for !c.peerClosed && (len(c.sndQueue) > 0 || len(c.sndUnacked) > 0) && time.Now().Before(deadline) {
+	for !c.peerClosed && (len(c.sndQueue) > 0 || c.sndUnacked.len() > 0) && time.Now().Before(deadline) {
 		t := time.AfterFunc(50*time.Millisecond, c.writeCond.Broadcast)
 		c.writeCond.Wait()
 		t.Stop()
 	}
 	c.closed = true
+	c.releaseBuffersLocked()
 	c.mu.Unlock()
 
 	for i := 0; i < 3; i++ {
@@ -297,11 +356,34 @@ func (c *Conn) Close() error {
 	return nil
 }
 
+// releaseBuffersLocked returns every pooled buffer the connection owns —
+// unsent queue, in-flight window, out-of-order window and undelivered
+// segments — to bufpool. Caller holds mu with c.closed already set, so no
+// other path will touch these buffers again.
+func (c *Conn) releaseBuffersLocked() {
+	for i, p := range c.sndQueue {
+		if p != nil {
+			bufpool.Put(p)
+			c.sndQueue[i] = nil
+		}
+	}
+	c.sndQueue = nil
+	c.sndQueueBytes = 0
+	c.sndUnacked.drain(bufpool.Put)
+	c.rcvOOO.drain(bufpool.Put)
+	for i := c.rcvSegHead; i < len(c.rcvSegs); i++ {
+		bufpool.Put(c.rcvSegs[i])
+		c.rcvSegs[i] = nil
+	}
+	c.rcvSegs, c.rcvSegHead, c.rcvSegOff = nil, 0, 0
+	c.loss.clear()
+}
+
 // LocalAddr implements net.Conn.
 func (c *Conn) LocalAddr() net.Addr { return c.udp.LocalAddr() }
 
 // RemoteAddr implements net.Conn.
-func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+func (c *Conn) RemoteAddr() net.Addr { return net.UDPAddrFromAddrPort(c.raddr) }
 
 // SetDeadline implements net.Conn.
 func (c *Conn) SetDeadline(t time.Time) error {
@@ -343,16 +425,33 @@ func (c *Conn) Rate() float64 {
 
 // --- sender --------------------------------------------------------------------
 
+// maxBurstPackets bounds the packets encoded per lock acquisition and
+// flushed per sendmmsg batch.
+const maxBurstPackets = 32
+
+// sendBatch is the sender's reusable burst scratch: packets are encoded
+// back-to-back into slab under the connection lock, then flushed outside
+// it. Copying into the slab under mu is what makes pooling safe — the
+// moment the lock drops, an ACK may recycle the in-flight payload.
+type sendBatch struct {
+	slab []byte
+	ends []int    // ends[i] = offset past packet i in slab
+	pkts [][]byte // per-flush packet views (loss-injected drops filtered)
+}
+
 // senderLoop paces data packets: each SYN interval grants a byte budget of
 // rate·interval, spent on loss-list retransmissions first and then fresh
-// data, respecting the peer's flow window.
+// data, respecting the peer's flow window. Packets go out in bursts of up
+// to maxBurstPackets per lock acquisition and (on Linux) per syscall.
 func (c *Conn) senderLoop() {
 	defer c.wg.Done()
 	ticker := time.NewTicker(synInterval)
 	defer ticker.Stop()
-	buf := make([]byte, 0, dataHeaderLen+mssPayload)
+	var batch sendBatch
 
-	var budget float64
+	c.mu.Lock()
+	budget := c.rate * synInterval.Seconds()
+	c.mu.Unlock()
 	for {
 		select {
 		case <-c.done:
@@ -366,8 +465,8 @@ func (c *Conn) senderLoop() {
 			// arrives with the next tick.
 		}
 		for budget > 0 {
-			sent, n := c.sendOne(buf)
-			if !sent {
+			n := c.sendBurst(&batch, budget)
+			if n == 0 {
 				break
 			}
 			budget -= float64(n)
@@ -375,56 +474,100 @@ func (c *Conn) senderLoop() {
 	}
 }
 
-// sendOne transmits a single packet (retransmission first) and reports the
-// bytes consumed.
-func (c *Conn) sendOne(buf []byte) (bool, int) {
+// sendBurst encodes up to maxBurstPackets packets (retransmissions first)
+// into the batch slab under one lock acquisition, flushes them and reports
+// the bytes consumed; 0 means nothing was sendable.
+func (c *Conn) sendBurst(batch *sendBatch, budget float64) int {
+	batch.slab = batch.slab[:0]
+	batch.ends = batch.ends[:0]
+	burstBytes := 0
+	queuedFresh := false
 	c.mu.Lock()
-	var seq uint32
-	var payload []byte
-	retransmit := false
-	for len(c.lossList) > 0 {
-		seq = c.lossList[0]
-		c.lossList = c.lossList[1:]
-		if p, ok := c.sndUnacked[seq]; ok {
-			payload = p
-			retransmit = true
-			break
-		}
-		// Already acknowledged since the NAK; skip.
+	if c.closed {
+		c.mu.Unlock()
+		return 0
 	}
-	if payload == nil {
-		inflight := int(int32(c.sndNextSeq - c.sndFirstUnack))
-		window := c.peerWindow
-		if window > c.cfg.MaxFlowWindow {
-			window = c.cfg.MaxFlowWindow
+	for len(batch.ends) < maxBurstPackets && float64(burstBytes) < budget {
+		var payload []byte
+		var seq uint32
+		for {
+			s, ok := c.loss.popFirst()
+			if !ok {
+				break
+			}
+			// Within [sndFirstUnack, sndNextSeq) every slot is live
+			// (cumulative ACKs prune the loss list), so a hit is always
+			// the right packet; a miss means it was ACKed since the NAK.
+			if p := c.sndUnacked.get(s); p != nil {
+				seq, payload = s, p
+				break
+			}
 		}
-		if len(c.sndQueue) == 0 || inflight >= window {
-			c.mu.Unlock()
-			return false, 0
+		if payload != nil {
+			c.statRetransmits++
+		} else {
+			inflight := int(int32(c.sndNextSeq - c.sndFirstUnack))
+			window := c.peerWindow
+			if window > c.cfg.MaxFlowWindow {
+				window = c.cfg.MaxFlowWindow
+			}
+			if len(c.sndQueue) == 0 || inflight >= window {
+				break
+			}
+			payload = c.sndQueue[0]
+			c.sndQueue[0] = nil
+			c.sndQueue = c.sndQueue[1:]
+			c.sndQueueBytes -= len(payload)
+			seq = c.sndNextSeq
+			c.sndNextSeq++
+			c.sndUnacked.storeOwned(seq, payload)
+			queuedFresh = true
 		}
-		payload = c.sndQueue[0]
-		c.sndQueue[0] = nil
-		c.sndQueue = c.sndQueue[1:]
-		c.sndQueueBytes -= len(payload)
-		seq = c.sndNextSeq
-		c.sndNextSeq++
-		c.sndUnacked[seq] = payload
+		batch.slab = append(batch.slab, pktData)
+		batch.slab = binary.BigEndian.AppendUint32(batch.slab, seq)
+		batch.slab = append(batch.slab, payload...)
+		batch.ends = append(batch.ends, len(batch.slab))
+		burstBytes += dataHeaderLen + len(payload)
+	}
+	if queuedFresh {
 		c.writeCond.Broadcast()
-	} else {
-		c.statRetransmits++
 	}
 	c.mu.Unlock()
-	// cfg is immutable after construction, so the injector can run after
-	// the unlock; calling a caller-supplied hook under c.mu could deadlock
-	// if the hook touches the connection.
-	drop := c.cfg.LossInjector != nil && c.cfg.LossInjector()
-
-	n := dataHeaderLen + len(payload)
-	if !drop {
-		c.send(encodeData(buf, seq, payload))
+	if len(batch.ends) == 0 {
+		return 0
 	}
-	_ = retransmit
-	return true, n
+	c.flushBatch(batch)
+	return burstBytes
+}
+
+// flushBatch transmits an encoded burst: the loss injector is consulted per
+// packet outside the lock (a hook touching the connection must not
+// deadlock), survivors go out via one sendmmsg where available, otherwise
+// as sequential writes.
+func (c *Conn) flushBatch(batch *sendBatch) {
+	batch.pkts = batch.pkts[:0]
+	start := 0
+	for _, end := range batch.ends {
+		pkt := batch.slab[start:end]
+		start = end
+		if c.cfg.LossInjector != nil && c.cfg.LossInjector() {
+			continue
+		}
+		batch.pkts = append(batch.pkts, pkt)
+	}
+	if len(batch.pkts) == 0 {
+		return
+	}
+	if c.mmsg != nil && len(batch.pkts) > 1 {
+		if c.mmsg.send(batch.pkts) {
+			return
+		}
+		// Batching unavailable on this socket: fall back for good.
+		c.mmsg = nil
+	}
+	for _, p := range batch.pkts {
+		c.send(p)
+	}
 }
 
 // send writes a raw packet to the peer; errors are ignored (UDP is
@@ -434,7 +577,7 @@ func (c *Conn) send(b []byte) {
 		_, _ = c.udp.Write(b)
 		return
 	}
-	_, _ = c.udp.WriteToUDP(b, c.raddr)
+	_, _ = c.udp.WriteToUDPAddrPort(b, c.raddr)
 }
 
 // --- receiver / control --------------------------------------------------------
@@ -463,10 +606,10 @@ func (c *Conn) ackLoop() {
 		c.mu.Lock()
 		ackSeq := c.rcvNextSeq
 		window := c.advertisedWindow()
-		needAck := ackSeq != c.lastAcked || len(c.rcvOOO) > 0
+		needAck := ackSeq != c.lastAcked || c.rcvOOO.len() > 0
 		c.lastAcked = ackSeq
 		var ranges []nakRange
-		if len(c.rcvOOO) > 0 {
+		if c.rcvOOO.len() > 0 {
 			staleTicks++
 			if staleTicks >= 4 {
 				ranges = c.missingRanges()
@@ -481,14 +624,18 @@ func (c *Conn) ackLoop() {
 
 		// EXP timer: no ACK progress while data is in flight.
 		kick := false
-		if len(c.sndUnacked) > 0 {
+		if c.sndUnacked.len() > 0 {
 			if c.sndFirstUnack == lastUnack {
 				expCounter++
 			} else {
 				expCounter = 0
 			}
-			if expCounter >= expTicks && len(c.lossList) == 0 {
-				c.lossList = c.unackedSeqs()
+			if expCounter >= expTicks && c.loss.empty() {
+				// Cumulative ACKs mean everything in
+				// [sndFirstUnack, sndNextSeq) is still in flight:
+				// reschedule it as one range.
+				c.loss.insert(c.sndFirstUnack, c.sndNextSeq-1)
+				c.slowStart = false
 				c.rate = c.rate * 8 / 9
 				if c.rate < minRate {
 					c.rate = minRate
@@ -514,21 +661,9 @@ func (c *Conn) ackLoop() {
 	}
 }
 
-// unackedSeqs lists in-flight sequence numbers in send order. Caller
-// holds mu.
-func (c *Conn) unackedSeqs() []uint32 {
-	seqs := make([]uint32, 0, len(c.sndUnacked))
-	for seq := c.sndFirstUnack; seqLess(seq, c.sndNextSeq); seq++ {
-		if _, ok := c.sndUnacked[seq]; ok {
-			seqs = append(seqs, seq)
-		}
-	}
-	return seqs
-}
-
 // advertisedWindow is the receive buffer space in packets. Caller holds mu.
 func (c *Conn) advertisedWindow() int {
-	used := len(c.rcvOOO) + len(c.readBuf)/mssPayload
+	used := c.rcvOOO.len() + c.segCount()
 	w := c.cfg.RcvBuffer - used
 	if w < 1 {
 		w = 1
@@ -542,7 +677,7 @@ func (c *Conn) missingRanges() []nakRange {
 	var ranges []nakRange
 	var cur *nakRange
 	for seq := c.rcvNextSeq; seqLess(seq, c.rcvLargest); seq++ {
-		if _, ok := c.rcvOOO[seq]; ok {
+		if c.rcvOOO.get(seq) != nil {
 			cur = nil
 			continue
 		}
@@ -590,12 +725,15 @@ func (c *Conn) handlePacket(b []byte) {
 
 func (c *Conn) handleData(b []byte) {
 	seq, payload, err := decodeData(b)
-	if err != nil {
+	if err != nil || len(payload) == 0 {
 		return
 	}
-	var gap *nakRange
+	var gap nakRange
+	hasGap := false
 	c.mu.Lock()
 	switch {
+	case c.closed:
+		// Teardown already recycled the receive buffers; drop.
 	case seqLess(seq, c.rcvNextSeq):
 		// Duplicate of already-delivered data; the periodic ACK covers it.
 	case int(int32(seq-c.rcvNextSeq)) >= c.cfg.RcvBuffer:
@@ -607,39 +745,39 @@ func (c *Conn) handleData(b []byte) {
 		if seqLess(c.rcvLargest, seq) {
 			g := nakRange{from: c.rcvLargest, to: seq - 1}
 			if seqLeq(g.from, g.to) {
-				gap = &g
+				gap, hasGap = g, true
 			}
 		}
 		if seqLeq(c.rcvLargest, seq) {
 			c.rcvLargest = seq + 1
 		}
-		if _, dup := c.rcvOOO[seq]; !dup {
-			buf := make([]byte, len(payload))
+		if c.rcvOOO.get(seq) == nil {
+			buf := bufpool.Get(len(payload))
 			copy(buf, payload)
-			c.rcvOOO[seq] = buf
+			c.rcvOOO.storeOwned(seq, buf)
 			c.drainContiguous()
 		}
-	}
-	if gap != nil {
-		c.statNaksSent++
+		if hasGap {
+			c.statNaksSent++
+		}
 	}
 	c.mu.Unlock()
-	if gap != nil {
-		c.send(encodeNak([]nakRange{*gap}))
+	if hasGap {
+		c.send(encodeNak([]nakRange{gap}))
 	}
 }
 
-// drainContiguous moves in-order packets from the out-of-order buffer into
-// the read buffer. Caller holds mu.
+// drainContiguous moves in-order packets from the out-of-order ring onto
+// the read segment queue (no copying — the pooled buffer itself moves).
+// Caller holds mu.
 func (c *Conn) drainContiguous() {
 	moved := false
 	for {
-		p, ok := c.rcvOOO[c.rcvNextSeq]
-		if !ok {
+		p := c.rcvOOO.take(c.rcvNextSeq)
+		if p == nil {
 			break
 		}
-		delete(c.rcvOOO, c.rcvNextSeq)
-		c.readBuf = append(c.readBuf, p...)
+		c.pushSeg(p)
 		c.rcvNextSeq++
 		moved = true
 	}
@@ -657,13 +795,26 @@ func (c *Conn) handleAck(b []byte) {
 		return
 	}
 	c.mu.Lock()
-	if seqLess(c.sndFirstUnack, ackSeq) || ackSeq == c.sndNextSeq {
+	// Clamp to what was actually sent: a corrupt or hostile ACK beyond
+	// sndNextSeq must not walk the ring (alias risk) nor spin the loop.
+	if seqLess(c.sndNextSeq, ackSeq) {
+		ackSeq = c.sndNextSeq
+	}
+	if seqLess(c.sndFirstUnack, ackSeq) {
 		for seq := c.sndFirstUnack; seqLess(seq, ackSeq); seq++ {
-			delete(c.sndUnacked, seq)
+			if p := c.sndUnacked.take(seq); p != nil {
+				bufpool.Put(p)
+			}
 		}
 		c.sndFirstUnack = ackSeq
-		// DAIMD additive increase on progress.
-		c.rate += c.cfg.Increase
+		c.loss.pruneBelow(ackSeq)
+		// Loss-free progress: double during slow start (UDT's start-up
+		// phase), DAIMD additive increase afterwards.
+		if c.slowStart {
+			c.rate *= 2
+		} else {
+			c.rate += c.cfg.Increase
+		}
 		if c.cfg.MaxRate > 0 && c.rate > c.cfg.MaxRate {
 			c.rate = c.cfg.MaxRate
 		}
@@ -681,31 +832,28 @@ func (c *Conn) handleNak(b []byte) {
 	}
 	c.mu.Lock()
 	for _, r := range ranges {
-		for seq := r.from; seqLeq(seq, r.to); seq++ {
-			if _, ok := c.sndUnacked[seq]; ok && !c.inLossList(seq) {
-				c.lossList = append(c.lossList, seq)
-			}
+		from, to := r.from, r.to
+		// Clip to the in-flight window so hostile ranges cannot alias
+		// ring slots outside [sndFirstUnack, sndNextSeq).
+		if seqLess(from, c.sndFirstUnack) {
+			from = c.sndFirstUnack
 		}
+		if seqLeq(c.sndNextSeq, to) {
+			to = c.sndNextSeq - 1
+		}
+		if seqLess(to, from) {
+			continue
+		}
+		c.loss.insert(from, to)
 	}
-	// DAIMD multiplicative decrease.
+	// First loss ends slow start; DAIMD multiplicative decrease.
+	c.slowStart = false
 	c.rate = c.rate * 8 / 9
 	if c.rate < minRate {
 		c.rate = minRate
 	}
 	c.mu.Unlock()
 	c.kickSender()
-}
-
-// inLossList reports whether seq is already scheduled for retransmission.
-// Caller holds mu. Loss lists are short (one NAK's worth), so linear scan
-// suffices.
-func (c *Conn) inLossList(seq uint32) bool {
-	for _, s := range c.lossList {
-		if s == seq {
-			return true
-		}
-	}
-	return false
 }
 
 func (c *Conn) handleShutdown() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 )
@@ -20,7 +21,7 @@ type Listener struct {
 	cfg Config
 
 	mu       sync.Mutex
-	conns    map[string]*Conn
+	conns    map[netip.AddrPort]*Conn
 	acceptCh chan *Conn
 	closed   bool
 	done     chan struct{}
@@ -43,7 +44,7 @@ func Listen(addr string, cfg Config) (*Listener, error) {
 	l := &Listener{
 		udp:      sock,
 		cfg:      cfg.withDefaults(),
-		conns:    make(map[string]*Conn),
+		conns:    make(map[netip.AddrPort]*Conn),
 		acceptCh: make(chan *Conn, 16),
 		done:     make(chan struct{}),
 	}
@@ -89,58 +90,103 @@ func (l *Listener) Close() error {
 	return nil
 }
 
+// readLoop pulls datagrams off the socket and dispatches them. Where the
+// platform supports it, recvmmsg drains a whole burst per syscall; the
+// portable path reads one datagram per ReadMsgUDPAddrPort call (which,
+// unlike ReadFromUDP, does not allocate a *net.UDPAddr per packet).
 func (l *Listener) readLoop() {
 	defer l.wg.Done()
+	if br := newBatchReader(l.udp); br != nil {
+		for {
+			n, err := br.read()
+			for i := 0; i < n; i++ {
+				l.dispatch(br.payload(i), br.addr(i))
+			}
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, errBatchUnsupported) {
+				break // fall through to the portable loop
+			}
+			return // socket closed
+		}
+	}
 	buf := make([]byte, maxDatagram)
 	for {
-		n, raddr, err := l.udp.ReadFromUDP(buf)
+		n, _, _, addr, err := l.udp.ReadMsgUDPAddrPort(buf, nil)
 		if err != nil {
 			return // socket closed
 		}
 		if n == 0 {
 			continue
 		}
-		l.dispatch(buf[:n], raddr)
+		l.dispatch(buf[:n], addr)
 	}
 }
 
-func (l *Listener) dispatch(b []byte, raddr *net.UDPAddr) {
-	key := raddr.String()
-	l.mu.Lock()
-	conn, ok := l.conns[key]
-	if !ok {
-		if b[0] != ctlHandshake || l.closed {
-			l.mu.Unlock()
-			return // stray packet for an unknown peer
-		}
-		clientSeq, window, err := decodeHandshake(b)
-		if err != nil {
-			l.mu.Unlock()
-			return
-		}
-		conn = newConn(l.udp, raddr, false, l.cfg)
-		conn.sndNextSeq = randomInitialSeq()
-		conn.sndFirstUnack = conn.sndNextSeq
-		conn.lastAcked = clientSeq
-		conn.onClose = func() { l.forget(key) }
-		conn.completeAccept(clientSeq, window)
-		l.conns[key] = conn
-		l.mu.Unlock()
-
-		conn.send(encodeHandshake(ctlHsAck, conn.sndNextSeq, uint32(conn.cfg.RcvBuffer)))
-		conn.start()
-		select {
-		case l.acceptCh <- conn:
-		case <-l.done:
-			conn.Close()
-		}
+// dispatch routes one datagram. Established-connection traffic takes the
+// lock only for the map lookup; handshake decoding and connection
+// construction happen outside it so a malformed or slow handshake cannot
+// serialize dispatch for everyone else. Accept hand-off never blocks: when
+// the backlog is full the handshake is shed and the client's retry ticker
+// tries again, instead of the old behaviour of stalling the whole read
+// loop (and with it every established connection on the socket).
+func (l *Listener) dispatch(b []byte, raddr netip.AddrPort) {
+	if len(b) == 0 {
 		return
 	}
+	raddr = unmapAddrPort(raddr) // v4-mapped and plain v4 must hit the same key
+	l.mu.Lock()
+	conn, ok := l.conns[raddr]
+	closed := l.closed
 	l.mu.Unlock()
-	conn.handlePacket(b)
+	if ok {
+		conn.handlePacket(b)
+		return
+	}
+	if b[0] != ctlHandshake || closed {
+		return // stray packet for an unknown peer
+	}
+	clientSeq, window, err := decodeHandshake(b)
+	if err != nil {
+		return
+	}
+	if len(l.acceptCh) == cap(l.acceptCh) {
+		return // backlog full: shed before constructing anything
+	}
+	conn = newConn(l.udp, raddr, false, l.cfg)
+	conn.sndNextSeq = randomInitialSeq()
+	conn.sndFirstUnack = conn.sndNextSeq
+	conn.lastAcked = clientSeq
+	conn.onClose = func() { l.forget(raddr) }
+	conn.completeAccept(clientSeq, window)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if existing, ok := l.conns[raddr]; ok {
+		// Lost a race with a handshake retransmit: keep the first conn.
+		l.mu.Unlock()
+		existing.handlePacket(b)
+		return
+	}
+	l.conns[raddr] = conn
+	l.mu.Unlock()
+
+	conn.send(encodeHandshake(ctlHsAck, conn.sndNextSeq, uint32(conn.cfg.RcvBuffer)))
+	conn.start()
+	select {
+	case l.acceptCh <- conn:
+	default:
+		// Backlog filled between the shed check and here: drop the conn
+		// rather than block the read loop.
+		conn.Close()
+	}
 }
 
-func (l *Listener) forget(key string) {
+func (l *Listener) forget(key netip.AddrPort) {
 	l.mu.Lock()
 	delete(l.conns, key)
 	l.mu.Unlock()
@@ -148,33 +194,47 @@ func (l *Listener) forget(key string) {
 
 // Dial connects to a UDT listener at addr ("host:port").
 func Dial(addr string, cfg Config) (*Conn, error) {
-	raddr, err := net.ResolveUDPAddr("udp", addr)
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udt: resolve %q: %w", addr, err)
 	}
-	sock, err := net.DialUDP("udp", nil, raddr)
+	sock, err := net.DialUDP("udp", nil, uaddr)
 	if err != nil {
 		return nil, fmt.Errorf("udt: dial %q: %w", addr, err)
 	}
 	tuneSocket(sock)
-	conn := newConn(sock, raddr, true, cfg)
+	conn := newConn(sock, unmapAddrPort(uaddr.AddrPort()), true, cfg)
 	conn.sndNextSeq = randomInitialSeq()
 	conn.sndFirstUnack = conn.sndNextSeq
 
 	// The client-side read loop lives until the socket closes (on
-	// conn.Close, or below on handshake failure).
+	// conn.Close, or below on handshake failure). A connected UDP socket
+	// surfaces ICMP port-unreachable as ECONNREFUSED when our handshake
+	// raced the peer's bind; that is transient — the handshake retries.
+	// Only a closed socket ends the loop.
 	go func() {
+		if br := newBatchReader(sock); br != nil {
+			for {
+				n, err := br.read()
+				for i := 0; i < n; i++ {
+					conn.handlePacket(br.payload(i))
+				}
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, errBatchUnsupported) {
+					break // fall through to the portable loop
+				}
+				return
+			}
+		}
 		buf := make([]byte, maxDatagram)
 		for {
-			n, err := sock.Read(buf)
+			n, _, _, _, err := sock.ReadMsgUDPAddrPort(buf, nil)
 			if n > 0 {
 				conn.handlePacket(buf[:n])
 			}
 			if err != nil {
-				// A connected UDP socket surfaces ICMP port-unreachable
-				// as ECONNREFUSED when our handshake raced the peer's
-				// bind; that is transient — the handshake retries. Only
-				// a closed socket ends the loop.
 				if errors.Is(err, net.ErrClosed) {
 					return
 				}
@@ -208,9 +268,25 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	return conn, nil
 }
 
+// seqRng feeds randomInitialSeq from a locally seeded source instead of
+// the global math/rand state, so kmlint's simdet scope can later extend
+// over this package without flagging shared-RNG nondeterminism.
+var seqRng = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
 // randomInitialSeq avoids colliding sequence spaces between connections.
 func randomInitialSeq() uint32 {
-	return rand.Uint32() >> 1 // keep distance from wraparound in tests
+	seqRng.mu.Lock()
+	defer seqRng.mu.Unlock()
+	return seqRng.r.Uint32() >> 1 // keep distance from wraparound in tests
+}
+
+// unmapAddrPort strips any v4-in-v6 mapping so the same peer always
+// produces the same mux key regardless of which read path saw it.
+func unmapAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
 // ErrListenerClosed reports Accept on a closed listener.

@@ -1,0 +1,153 @@
+package udt
+
+// Sequence-indexed packet storage for the send and receive windows, and a
+// sorted interval list for the sender's loss bookkeeping.
+//
+// Both windows are bounded (MaxFlowWindow packets in flight on the send
+// side, RcvBuffer packets buffered on the receive side), so a ring of
+// power-of-two capacity ≥ the window gives every live sequence number a
+// distinct slot at seq&mask: O(1) lookup with no hashing and no per-entry
+// map churn, valid across uint32 wraparound because the low bits of seq
+// keep cycling through the ring.
+
+// pktRing maps sequence numbers to packet payloads for a window of at most
+// cap(slots) consecutive (mod 2³²) sequence numbers. Callers enforce the
+// window bound before storing; the ring itself only masks.
+//
+// Stored payloads are pooled buffers: storeOwned takes ownership, take and
+// drain hand it back. A nil slot means "absent" — payloads are never nil
+// (bufpool.Get returns non-nil even for length 0).
+type pktRing struct {
+	slots [][]byte
+	mask  uint32
+	n     int
+}
+
+// newPktRing sizes the ring for a window of `window` packets.
+func newPktRing(window int) *pktRing {
+	size := 1
+	for size < window {
+		size <<= 1
+	}
+	return &pktRing{slots: make([][]byte, size), mask: uint32(size - 1)}
+}
+
+// get returns the payload stored for seq, or nil.
+func (r *pktRing) get(seq uint32) []byte { return r.slots[seq&r.mask] }
+
+// storeOwned records buf as seq's payload, taking ownership of buf. It
+// reports false (and does not take ownership) when the slot is already
+// occupied — a duplicate arrival.
+func (r *pktRing) storeOwned(seq uint32, buf []byte) bool {
+	i := seq & r.mask
+	if r.slots[i] != nil {
+		return false
+	}
+	r.slots[i] = buf
+	r.n++
+	return true
+}
+
+// take removes and returns seq's payload (nil if absent); ownership moves
+// back to the caller.
+func (r *pktRing) take(seq uint32) []byte {
+	i := seq & r.mask
+	b := r.slots[i]
+	if b != nil {
+		r.slots[i] = nil
+		r.n--
+	}
+	return b
+}
+
+// len reports the number of stored payloads.
+func (r *pktRing) len() int { return r.n }
+
+// drain removes every stored payload, invoking release on each. Used at
+// connection teardown to recycle pooled buffers.
+func (r *pktRing) drain(release func([]byte)) {
+	for i, b := range r.slots {
+		if b != nil {
+			r.slots[i] = nil
+			release(b)
+		}
+	}
+	r.n = 0
+}
+
+// lossRanges is the sender's loss list: a sorted, disjoint list of
+// inclusive sequence ranges scheduled for retransmission. All entries live
+// within one flow window of each other, so seqLess gives a consistent
+// total order even across uint32 wraparound. Replaces the old []uint32
+// list whose duplicate check was a linear scan per NAKed sequence.
+type lossRanges struct {
+	r []nakRange
+}
+
+// empty reports whether anything is scheduled.
+func (l *lossRanges) empty() bool { return len(l.r) == 0 }
+
+// insert merges the inclusive range [from,to] into the list, coalescing
+// with overlapping or adjacent entries.
+func (l *lossRanges) insert(from, to uint32) {
+	if seqLess(to, from) {
+		return
+	}
+	// Find the first entry ending at or after from-1 (adjacency merges).
+	i := 0
+	for i < len(l.r) && seqLess(l.r[i].to, from-1) {
+		i++
+	}
+	// Entries from i onward may overlap/adjoin [from,to]; coalesce them.
+	j := i
+	for j < len(l.r) && seqLeq(l.r[j].from, to+1) {
+		if seqLess(l.r[j].from, from) {
+			from = l.r[j].from
+		}
+		if seqLess(to, l.r[j].to) {
+			to = l.r[j].to
+		}
+		j++
+	}
+	if i == j {
+		l.r = append(l.r, nakRange{})
+		copy(l.r[i+1:], l.r[i:])
+		l.r[i] = nakRange{from: from, to: to}
+		return
+	}
+	l.r[i] = nakRange{from: from, to: to}
+	l.r = append(l.r[:i+1], l.r[j:]...)
+}
+
+// popFirst removes and returns the lowest scheduled sequence number.
+func (l *lossRanges) popFirst() (uint32, bool) {
+	if len(l.r) == 0 {
+		return 0, false
+	}
+	seq := l.r[0].from
+	if l.r[0].from == l.r[0].to {
+		copy(l.r, l.r[1:])
+		l.r = l.r[:len(l.r)-1]
+	} else {
+		l.r[0].from++
+	}
+	return seq, true
+}
+
+// pruneBelow drops every scheduled sequence number before seq (they have
+// been cumulatively acknowledged).
+func (l *lossRanges) pruneBelow(seq uint32) {
+	i := 0
+	for i < len(l.r) && seqLess(l.r[i].to, seq) {
+		i++
+	}
+	if i > 0 {
+		l.r = l.r[:copy(l.r, l.r[i:])]
+	}
+	if len(l.r) > 0 && seqLess(l.r[0].from, seq) {
+		l.r[0].from = seq
+	}
+}
+
+// clear empties the list, keeping capacity.
+func (l *lossRanges) clear() { l.r = l.r[:0] }

@@ -1,0 +1,136 @@
+package udt
+
+import (
+	"testing"
+)
+
+func TestPktRingStoreTakeAcrossWraparound(t *testing.T) {
+	r := newPktRing(5) // rounds up to 8 slots
+	if len(r.slots) != 8 || r.mask != 7 {
+		t.Fatalf("newPktRing(5) = %d slots mask %d, want 8 slots mask 7", len(r.slots), r.mask)
+	}
+	base := ^uint32(0) - 3 // window straddles the uint32 wrap
+	for i := uint32(0); i < 8; i++ {
+		buf := []byte{byte(i)}
+		if !r.storeOwned(base+i, buf) {
+			t.Fatalf("storeOwned(%d) refused an empty slot", base+i)
+		}
+	}
+	if r.len() != 8 {
+		t.Fatalf("len = %d, want 8", r.len())
+	}
+	if r.storeOwned(base, []byte{99}) {
+		t.Fatal("storeOwned accepted an occupied slot")
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := r.get(base + i); got == nil || got[0] != byte(i) {
+			t.Fatalf("get(%d) = %v, want [%d]", base+i, got, i)
+		}
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := r.take(base + i); got == nil || got[0] != byte(i) {
+			t.Fatalf("take(%d) = %v, want [%d]", base+i, got, i)
+		}
+		if got := r.take(base + i); got != nil {
+			t.Fatalf("second take(%d) = %v, want nil", base+i, got)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len after drain = %d, want 0", r.len())
+	}
+}
+
+func TestPktRingDrainReleasesEverything(t *testing.T) {
+	r := newPktRing(4)
+	for i := uint32(0); i < 4; i++ {
+		r.storeOwned(1000+i, []byte{byte(i)})
+	}
+	var released int
+	r.drain(func([]byte) { released++ })
+	if released != 4 || r.len() != 0 {
+		t.Fatalf("drain released %d (len %d), want 4 (len 0)", released, r.len())
+	}
+}
+
+func TestLossRangesInsertCoalesces(t *testing.T) {
+	var l lossRanges
+	l.insert(10, 12)
+	l.insert(20, 22)
+	if len(l.r) != 2 {
+		t.Fatalf("disjoint inserts: %v", l.r)
+	}
+	l.insert(13, 15) // adjacent to [10,12]: must merge
+	if len(l.r) != 2 || l.r[0] != (nakRange{from: 10, to: 15}) {
+		t.Fatalf("adjacent merge: %v", l.r)
+	}
+	l.insert(14, 21) // bridges both entries
+	if len(l.r) != 1 || l.r[0] != (nakRange{from: 10, to: 22}) {
+		t.Fatalf("bridging merge: %v", l.r)
+	}
+	l.insert(5, 7) // new first entry
+	if len(l.r) != 2 || l.r[0] != (nakRange{from: 5, to: 7}) {
+		t.Fatalf("prepend: %v", l.r)
+	}
+	l.insert(6, 6) // fully contained: no change
+	if len(l.r) != 2 || l.r[0] != (nakRange{from: 5, to: 7}) {
+		t.Fatalf("contained insert changed list: %v", l.r)
+	}
+}
+
+func TestLossRangesPopFirstOrdered(t *testing.T) {
+	var l lossRanges
+	l.insert(30, 31)
+	l.insert(10, 11)
+	want := []uint32{10, 11, 30, 31}
+	for _, w := range want {
+		got, ok := l.popFirst()
+		if !ok || got != w {
+			t.Fatalf("popFirst = %d,%v want %d,true", got, ok, w)
+		}
+	}
+	if _, ok := l.popFirst(); ok || !l.empty() {
+		t.Fatal("list should be empty")
+	}
+}
+
+func TestLossRangesAcrossWraparound(t *testing.T) {
+	var l lossRanges
+	hi := ^uint32(0) - 1 // 0xfffffffe
+	l.insert(hi, hi+3)   // spans fffffffe..1
+	l.insert(hi-2, hi-2)
+	if len(l.r) != 2 {
+		t.Fatalf("after wrap inserts: %v", l.r)
+	}
+	if got, _ := l.popFirst(); got != hi-2 {
+		t.Fatalf("first pop = %d, want %d", got, hi-2)
+	}
+	// Pop the wrapping range in sequence order: fffffffe, ffffffff, 0, 1.
+	for _, w := range []uint32{hi, hi + 1, 0, 1} {
+		got, ok := l.popFirst()
+		if !ok || got != w {
+			t.Fatalf("popFirst = %d,%v want %d,true", got, ok, w)
+		}
+	}
+	if !l.empty() {
+		t.Fatalf("leftover: %v", l.r)
+	}
+}
+
+func TestLossRangesPruneBelowAcrossWraparound(t *testing.T) {
+	var l lossRanges
+	hi := ^uint32(0) - 1
+	l.insert(hi, hi+3) // fffffffe..1
+	l.insert(5, 6)
+	l.pruneBelow(0) // cumulative ACK of everything before the wrap
+	if len(l.r) != 2 || l.r[0] != (nakRange{from: 0, to: 1}) {
+		t.Fatalf("pruneBelow(0): %v", l.r)
+	}
+	l.pruneBelow(6)
+	if len(l.r) != 1 || l.r[0] != (nakRange{from: 6, to: 6}) {
+		t.Fatalf("pruneBelow(6): %v", l.r)
+	}
+	l.pruneBelow(7)
+	if !l.empty() {
+		t.Fatalf("pruneBelow(7): %v", l.r)
+	}
+}
