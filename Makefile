@@ -2,6 +2,8 @@
 #
 #   make check          vet + kmlint + build + race-enabled tests (the CI gate)
 #   make test           plain test run (tier-1 verify)
+#   make test-faults    fault-injection and supervision suite, race-enabled
+#                       and repeated to shake out nondeterminism
 #   make lint           kmlint static analyzer suite only
 #   make bench-hotpath  rerun the wire hot-path benchmarks and refresh the
 #                       "current" section of BENCH_hotpath.json
@@ -15,13 +17,19 @@ HOTPATH_PKGS = ./internal/core/ ./internal/transport/
 HOTPATH_OUT  = BENCH_hotpath.out
 UDT_OUT      = BENCH_udt.out
 
-.PHONY: check test build vet lint bench bench-hotpath bench-udt
+FAULT_PKGS = ./internal/faults/ ./internal/transport/ ./internal/core/ ./internal/udt/
+FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole|Backoff|Status|StopThenRestart'
+
+.PHONY: check test test-faults build vet lint bench bench-hotpath bench-udt
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
 
 test:
 	$(GO) build ./... && $(GO) test ./...
+
+test-faults:
+	$(GO) test -race -count=3 -run $(FAULT_RUN) $(FAULT_PKGS)
 
 build:
 	$(GO) build ./...

@@ -87,13 +87,14 @@ type NetworkConfig struct {
 // optionally compressed, and handed to the per-(destination, protocol)
 // channel, created lazily on first use.
 type Network struct {
-	cfg   NetworkConfig
-	tcfg  transport.Config
-	port  *kompics.Port
-	ep    *transport.Endpoint
-	comp  *kompics.Component
-	ctx   *kompics.Context
-	epsMu sync.Mutex // guards ep swaps across restarts
+	cfg        NetworkConfig
+	tcfg       transport.Config
+	port       *kompics.Port
+	statusPort *kompics.Port
+	ep         *transport.Endpoint
+	comp       *kompics.Component
+	ctx        *kompics.Context
+	epsMu      sync.Mutex // guards ep swaps across restarts
 }
 
 var _ kompics.Definition = (*Network)(nil)
@@ -163,6 +164,7 @@ func (n *Network) Init(ctx *kompics.Context) {
 	n.ctx = ctx
 	n.comp = ctx.Component()
 	n.port = ctx.Provides(NetworkPort)
+	n.statusPort = ctx.Provides(NetworkStatusPort)
 
 	n.tcfg = n.cfg.Transport
 	n.tcfg.ListenAddr = n.cfg.ListenAddr
@@ -172,6 +174,11 @@ func (n *Network) Init(ctx *kompics.Context) {
 	}
 	n.tcfg.Logger = n.cfg.Logger
 	n.tcfg.OnMessage = n.onWirePayload
+	// Supervision events are raised on transport goroutines; hop into
+	// component context before publishing them on the status port.
+	n.tcfg.OnStatus = func(ev transport.StatusEvent) {
+		n.comp.SelfTrigger(statusInbound{ev: ev})
+	}
 	if _, err := transport.NewEndpoint(n.tcfg); err != nil {
 		panic(fmt.Sprintf("core: invalid transport config: %v", err))
 	}
@@ -189,6 +196,9 @@ func (n *Network) Init(ctx *kompics.Context) {
 	ctx.SubscribeSelf(sendOutcome{}, func(e kompics.Event) {
 		o := e.(sendOutcome)
 		ctx.Trigger(NotifyResp{ID: o.id, Err: o.err}, n.port)
+	})
+	ctx.SubscribeSelf(statusInbound{}, func(e kompics.Event) {
+		n.publishStatus(e.(statusInbound).ev)
 	})
 
 	// Endpoints are single-use: each Start builds a fresh one, so the

@@ -1,0 +1,271 @@
+// Package faults provides deterministic, programmable fault injection
+// for the wire layer. Tests install an Injector into transport.Config
+// (and, through it, into the UDT mux datagram path) and script failures
+// — refused dials, reset connections, stalled writes, blackholed
+// datagrams — instead of killing real listeners and sleeping.
+//
+// Rules are matched in insertion order against (operation, protocol,
+// destination); a rule may be one-shot (Count=1), bounded (Count=n), or
+// probabilistic (P in (0,1), rolled on a PRNG seeded at construction so
+// runs replay exactly). The package is part of the simdet deterministic
+// cone: it never reads wall-clock time and never touches the network
+// itself — stalls release on rule removal, not on timers.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// Errors returned by injected faults. Transport surfaces them through
+// the normal notify path, so tests can assert on the exact failure.
+var (
+	// ErrDialRefused is returned by Dial when a Refuse rule matches.
+	ErrDialRefused = errors.New("faults: dial refused")
+	// ErrConnReset is returned by Write when a Reset rule matches; the
+	// wrapped connection is closed so the failure is indistinguishable
+	// from a real peer reset.
+	ErrConnReset = errors.New("faults: connection reset")
+	// ErrInjectorClosed is returned to writers released from a stall by
+	// Close (as opposed to Remove/Clear, which let the write proceed).
+	ErrInjectorClosed = errors.New("faults: injector closed")
+)
+
+// Op selects which transport operation a rule intercepts.
+type Op int
+
+const (
+	// OpDial intercepts outgoing dial/handshake attempts.
+	OpDial Op = iota + 1
+	// OpWrite intercepts writes on established stream connections.
+	OpWrite
+	// OpDatagram intercepts individual outgoing datagrams (UDP frames,
+	// UDT data packets).
+	OpDatagram
+)
+
+// Action is what a matching rule does to the operation.
+type Action int
+
+const (
+	// Refuse fails a dial with ErrDialRefused.
+	Refuse Action = iota + 1
+	// Reset fails a write with ErrConnReset and closes the connection.
+	Reset
+	// Stall blocks a write until the rule is removed (write proceeds)
+	// or the injector is closed (write fails with ErrInjectorClosed).
+	Stall
+	// Drop silently discards a datagram ("blackhole").
+	Drop
+)
+
+// Spec describes one fault rule. Zero values widen the match: Proto 0
+// matches any protocol, empty Dest matches any destination, P 0 (or 1)
+// fires on every match, Count 0 never exhausts.
+type Spec struct {
+	Op     Op
+	Action Action
+	Proto  wire.Transport // 0 = any protocol
+	Dest   string         // "" = any destination
+	P      float64        // trigger probability; 0 means always
+	Count  int            // max times the rule fires; 0 = unlimited
+}
+
+// RuleID identifies an installed rule for Remove/Hits.
+type RuleID uint64
+
+type rule struct {
+	id   RuleID
+	spec Spec
+	hits int
+	// released is closed when the rule is removed; stalled writers wait
+	// on it. closedInjector distinguishes Close (fail the write) from
+	// Remove/Clear (let it proceed).
+	released chan struct{}
+}
+
+// Injector holds the active rule set. All methods are safe for
+// concurrent use; the zero value is not valid — use New.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nextID RuleID
+	rules  []*rule
+	closed bool
+}
+
+// New returns an empty injector whose probabilistic rolls are driven by
+// a private PRNG seeded with seed, so a given rule script replays the
+// same fault sequence every run.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), nextID: 1}
+}
+
+// Add installs a rule and returns its id. Rules are consulted in
+// insertion order; the first live match wins.
+func (i *Injector) Add(s Spec) RuleID {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	id := i.nextID
+	i.nextID++
+	i.rules = append(i.rules, &rule{id: id, spec: s, released: make(chan struct{})})
+	return id
+}
+
+// Remove deletes a rule, releasing any writer stalled on it.
+func (i *Injector) Remove(id RuleID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for idx, r := range i.rules {
+		if r.id == id {
+			close(r.released)
+			i.rules = append(i.rules[:idx], i.rules[idx+1:]...)
+			return
+		}
+	}
+}
+
+// Clear deletes every rule, releasing all stalled writers.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, r := range i.rules {
+		close(r.released)
+	}
+	i.rules = nil
+}
+
+// Close clears the rule set and marks the injector closed; writers
+// stalled at the time fail with ErrInjectorClosed, and no rule matches
+// afterwards.
+func (i *Injector) Close() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.closed = true
+	for _, r := range i.rules {
+		close(r.released)
+	}
+	i.rules = nil
+}
+
+// Hits reports how many times the rule has fired (0 if unknown).
+func (i *Injector) Hits(id RuleID) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, r := range i.rules {
+		if r.id == id {
+			return r.hits
+		}
+	}
+	return 0
+}
+
+// match finds the first live rule for (op, proto, dest), rolls its
+// probability, and charges a hit. Exhausted rules are skipped but left
+// in place so Hits keeps reporting their final count.
+func (i *Injector) match(op Op, proto wire.Transport, dest string) *rule {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.closed {
+		return nil
+	}
+	for _, r := range i.rules {
+		s := r.spec
+		if s.Op != op {
+			continue
+		}
+		if s.Proto != 0 && s.Proto != proto {
+			continue
+		}
+		if s.Dest != "" && s.Dest != dest {
+			continue
+		}
+		if s.Count > 0 && r.hits >= s.Count {
+			continue
+		}
+		if s.P > 0 && s.P < 1 && i.rng.Float64() >= s.P {
+			continue
+		}
+		r.hits++
+		return r
+	}
+	return nil
+}
+
+// Dial is the transport dial seam: a matching Refuse rule fails the
+// attempt with ErrDialRefused.
+func (i *Injector) Dial(proto wire.Transport, dest string) error {
+	if i == nil {
+		return nil
+	}
+	if r := i.match(OpDial, proto, dest); r != nil && r.spec.Action == Refuse {
+		return ErrDialRefused
+	}
+	return nil
+}
+
+// Write is the stream-write seam. Reset fails immediately; Stall parks
+// the caller until the rule is removed (nil) or the injector is closed
+// (ErrInjectorClosed).
+func (i *Injector) Write(proto wire.Transport, dest string) error {
+	if i == nil {
+		return nil
+	}
+	r := i.match(OpWrite, proto, dest)
+	if r == nil {
+		return nil
+	}
+	switch r.spec.Action {
+	case Reset:
+		return ErrConnReset
+	case Stall:
+		<-r.released
+		i.mu.Lock()
+		closed := i.closed
+		i.mu.Unlock()
+		if closed {
+			return ErrInjectorClosed
+		}
+	}
+	return nil
+}
+
+// DropDatagram is the datagram seam: true means the packet should
+// vanish on the wire.
+func (i *Injector) DropDatagram(proto wire.Transport, dest string) bool {
+	if i == nil {
+		return false
+	}
+	r := i.match(OpDatagram, proto, dest)
+	return r != nil && r.spec.Action == Drop
+}
+
+// WrapConn installs the injector's write seam on an established stream
+// connection. A Reset rule closes the underlying connection and fails
+// the write; a Stall rule blocks it until released. Read-side traffic
+// is untouched.
+func (i *Injector) WrapConn(conn net.Conn, proto wire.Transport, dest string) net.Conn {
+	if i == nil {
+		return conn
+	}
+	return &faultConn{Conn: conn, inj: i, proto: proto, dest: dest}
+}
+
+type faultConn struct {
+	net.Conn
+	inj   *Injector
+	proto wire.Transport
+	dest  string
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	if err := f.inj.Write(f.proto, f.dest); err != nil {
+		f.Conn.Close()
+		return 0, err
+	}
+	return f.Conn.Write(b)
+}

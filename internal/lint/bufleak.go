@@ -41,10 +41,13 @@ const bufpoolPkg = "internal/bufpool"
 // callback: ownership of the payload buffer passes to the callback.
 // storeOwned is udt's ring-window insertion (pktRing.storeOwned): the ring
 // owns the payload until take/drain hands it back, and every type spelling
-// a method that way opts into the same contract.
+// a method that way opts into the same contract. release is transport's
+// outMsg completion: it fires the notify and recycles the payload exactly
+// once — the queue-overflow rejection path releases through it.
 var transferSinks = map[string]bool{
 	"OnMessage":  true,
 	"storeOwned": true,
+	"release":    true,
 }
 
 func runBufLeak(pass *Pass) {
@@ -488,6 +491,13 @@ func (lk *leakScan) callReleases(call *ast.CallExpr) bool {
 		}
 	}
 	if !argUses {
+		// Receiver-position sinks: newOutMsg(v).release(err) recycles the
+		// buffer the value was built around even though v is not among the
+		// call's arguments.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			transferSinks[sel.Sel.Name] && lk.usesNode(sel.X) {
+			return true
+		}
 		return false
 	}
 	if fn := lk.pass.calleeFunc(call); fn != nil {

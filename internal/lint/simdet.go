@@ -35,6 +35,10 @@ var simCone = map[string]bool{
 	"bench":  true,
 	"stats":  true,
 	"vnet":   true,
+	// faults powers the scripted-outage tests: an injector that consulted
+	// the wall clock or the global rand would make failure scenarios (and
+	// their status-event sequences) unreproducible.
+	"faults": true,
 }
 
 // inSimCone reports whether the import path has a cone element. The

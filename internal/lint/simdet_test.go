@@ -10,6 +10,10 @@ func TestSimDetIgnoresNonConePackages(t *testing.T) {
 	runFixture(t, "testdata/simdet/app", []*Analyzer{SimDet}, false)
 }
 
+func TestSimDetFlagsFaultsPackage(t *testing.T) {
+	runFixture(t, "testdata/simdet/faults", []*Analyzer{SimDet}, false)
+}
+
 func TestInSimCone(t *testing.T) {
 	cases := []struct {
 		path string
@@ -21,6 +25,8 @@ func TestInSimCone(t *testing.T) {
 		// External test packages are held to the same standard.
 		{"github.com/kompics/kompicsmessaging-go/internal/vnet_test", true},
 		{"github.com/kompics/kompicsmessaging-go/internal/stats/quantile", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/faults", true},
+		{"github.com/kompics/kompicsmessaging-go/internal/faults_test", true},
 		{"github.com/kompics/kompicsmessaging-go/internal/transport", false},
 		// Matching is per path element, not substring.
 		{"github.com/kompics/kompicsmessaging-go/internal/benchmark", false},

@@ -106,3 +106,24 @@ func ringStore(r *ringLike, seq uint32, payload []byte) {
 	copy(b, payload)
 	r.storeOwned(seq, b)
 }
+
+// queued mimics transport's outMsg: release fires the notify and recycles
+// the payload the value was built around, exactly once.
+type queued struct{ payload []byte }
+
+func (q queued) release(err error) {
+	_ = err
+	bufpool.Put(q.payload)
+}
+
+// rejectOverflow is the queue-overflow fail-fast shape: the buffer sits in
+// receiver position of the release sink, not among its arguments.
+func rejectOverflow(full bool, ch chan queued) {
+	b := bufpool.Get(32)
+	m := queued{payload: b}
+	if full {
+		m.release(errBoom)
+		return
+	}
+	ch <- m
+}

@@ -81,3 +81,19 @@ func ringStoreConditional(r *ringLike, seq uint32, payload []byte, dup bool) {
 		r.storeOwned(seq, b)
 	}
 }
+
+// queued mirrors the clean fixture's release sink.
+type queued struct{ payload []byte }
+
+func (q queued) release(err error) {
+	_ = err
+	bufpool.Put(q.payload)
+}
+
+// releaseWrongReceiver calls the release sink on a value unrelated to the
+// tracked buffer: the receiver-position rule must not credit it.
+func releaseWrongReceiver(other queued) {
+	b := bufpool.Get(16) // want "dropped when this block ends"
+	b[0] = 1
+	other.release(errBoom)
+}

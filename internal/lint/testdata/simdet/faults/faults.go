@@ -1,0 +1,39 @@
+// Package faults (a fixture, not the real internal/faults) carries the
+// same path element as the fault-injection package, which joined the
+// simulation cone: injectors script outages for deterministic tests, so
+// wall clocks, the global rand and real sockets are all off limits.
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"time"
+)
+
+// badProbability rolls the global generator: two runs of the same outage
+// script would drop different packets.
+func badProbability(p float64) bool {
+	return rand.Float64() < p // want "global math/rand.Float64 in simulation cone"
+}
+
+// goodProbability threads the injector's seeded source instead.
+func goodProbability(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// badStall times a stall with the wall clock instead of a released
+// channel or an injected clock.
+func badStall() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in simulation cone"
+}
+
+// badProbe opens a real socket; injectors decide outcomes by rule, never
+// by touching the network.
+func badProbe(dest string) bool {
+	c, err := net.Dial("tcp", dest) // want "net.Dial opens a real socket"
+	if err != nil {
+		return false
+	}
+	c.Close()
+	return true
+}

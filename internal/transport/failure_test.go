@@ -1,21 +1,115 @@
 package transport
 
 import (
-	"fmt"
+	"errors"
 	"net"
 	"testing"
 	"time"
 
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+	"github.com/kompics/kompicsmessaging-go/internal/faults"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
 
-// TestPeerDeathMidStreamThenRevival kills the receiving endpoint while a
-// stream of sends is in flight, then revives it on the same port: sends
-// during the outage must fail (at-most-once — never silently retried) and
-// sends after revival must flow again through a fresh channel.
+// eventCollector is a collector whose deliveries can be awaited on a
+// channel, so failure tests synchronize on events instead of polling.
+type eventCollector struct {
+	collector
+	ch chan []byte
+}
+
+func newEventCollector() *eventCollector {
+	return &eventCollector{ch: make(chan []byte, 256)}
+}
+
+func (c *eventCollector) onMessage(p []byte) {
+	dup := make([]byte, len(p))
+	copy(dup, p)
+	c.mu.Lock()
+	c.msgs = append(c.msgs, dup)
+	c.mu.Unlock()
+	bufpool.Put(p)
+	select {
+	case c.ch <- dup:
+	default:
+	}
+}
+
+// expectDelivery waits for the next inbound message and asserts its
+// contents.
+func expectDelivery(t *testing.T, c *eventCollector, want string) {
+	t.Helper()
+	select {
+	case got := <-c.ch:
+		if string(got) != want {
+			t.Fatalf("delivered %q, want %q", got, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for delivery of %q", want)
+	}
+}
+
+// expectStatus waits for the next status event and asserts its kind.
+func expectStatus(t *testing.T, ch <-chan StatusEvent, want StatusKind) StatusEvent {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		if ev.Kind != want {
+			t.Fatalf("status event %v (%+v), want %v", ev.Kind, ev, want)
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %v status event", want)
+		return StatusEvent{}
+	}
+}
+
+func expectNotify(t *testing.T, ch <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for send notification")
+		return nil
+	}
+}
+
+// TestPeerDeathMidStreamThenRevival scripts a peer outage with the fault
+// injector instead of killing a real listener: the established channel
+// is reset mid-stream, redials back off under a virtual clock, and the
+// exact Up / Down / Retry / Retry / Up supervision sequence is observed.
+// Sends during the outage fail fast (at-most-once — never silently
+// retried across the reconnect) and sends after revival flow again over
+// the same supervised channel.
 func TestPeerDeathMidStreamThenRevival(t *testing.T) {
-	sender := &collector{}
-	epA, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: sender.onMessage})
+	leakCheck(t)
+	inj := faults.New(1)
+	vc := clock.NewVirtual()
+	status := make(chan StatusEvent, 64)
+
+	recv := newEventCollector()
+	epB, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: recv.onMessage,
+		Protocols: []wire.Transport{wire.TCP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := epB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	sender := newEventCollector()
+	epA, err := NewEndpoint(Config{
+		ListenAddr:      "127.0.0.1:0",
+		OnMessage:       sender.onMessage,
+		Protocols:       []wire.Transport{wire.TCP},
+		Faults:          inj,
+		Clock:           vc,
+		MaxDialAttempts: 5,
+		OnStatus:        func(ev StatusEvent) { status <- ev },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,71 +118,66 @@ func TestPeerDeathMidStreamThenRevival(t *testing.T) {
 	}
 	defer epA.Close()
 
-	// Receiver on a fixed port so it can be revived at the same address.
-	port := pickFreePort(t)
-	addr := fmt.Sprintf("127.0.0.1:%d", port)
-	recv1 := &collector{}
-	epB, err := NewEndpoint(Config{ListenAddr: addr, OnMessage: recv1.onMessage,
-		Protocols: []wire.Transport{wire.TCP}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := epB.Start(); err != nil {
-		t.Fatal(err)
-	}
+	addr := epB.Addr(wire.TCP)
+	notify := make(chan error, 1)
 
-	okCh := make(chan error, 1)
-	epA.Send(wire.TCP, addr, []byte("before"), func(err error) { okCh <- err })
-	if err := <-okCh; err != nil {
+	epA.Send(wire.TCP, addr, pooled("before"), func(err error) { notify <- err })
+	if err := expectNotify(t, notify); err != nil {
 		t.Fatalf("send before outage: %v", err)
 	}
-	waitCount(t, recv1, 1)
+	expectStatus(t, status, StatusUp)
+	expectDelivery(t, recv, "before")
 
-	// Kill the receiver.
-	epB.Close()
+	// Kill the peer: established writes reset, redials refused.
+	resetID := inj.Add(faults.Spec{Op: faults.OpWrite, Action: faults.Reset})
+	refuseID := inj.Add(faults.Spec{Op: faults.OpDial, Action: faults.Refuse})
 
-	// Sends during the outage eventually fail (the first write may be
-	// buffered by the kernel before the RST arrives, so push until an
-	// error surfaces).
-	deadline := time.Now().Add(10 * time.Second)
-	failed := false
-	for time.Now().Before(deadline) && !failed {
-		errCh := make(chan error, 1)
-		epA.Send(wire.TCP, addr, []byte("during"), func(err error) { errCh <- err })
-		select {
-		case err := <-errCh:
-			failed = err != nil
-		case <-time.After(5 * time.Second):
-			t.Fatal("no notification during outage")
+	epA.Send(wire.TCP, addr, pooled("during"), func(err error) { notify <- err })
+	if err := expectNotify(t, notify); !errors.Is(err, faults.ErrConnReset) {
+		t.Fatalf("send during outage: err = %v, want ErrConnReset", err)
+	}
+	expectStatus(t, status, StatusDown)
+
+	// Two refused redials under the virtual clock; each Retry event is
+	// emitted after its backoff timer is armed, so advancing by the
+	// reported delay deterministically triggers the next attempt.
+	ev := expectStatus(t, status, StatusRetry)
+	if ev.Attempt != 1 {
+		t.Fatalf("first retry reports attempt %d", ev.Attempt)
+	}
+	vc.Advance(ev.NextDelay)
+	ev = expectStatus(t, status, StatusRetry)
+	if ev.Attempt != 2 {
+		t.Fatalf("second retry reports attempt %d", ev.Attempt)
+	}
+
+	// Revive the peer and release the third attempt.
+	inj.Remove(resetID)
+	inj.Remove(refuseID)
+	vc.Advance(ev.NextDelay)
+	expectStatus(t, status, StatusUp)
+
+	if st, ok := epA.ChannelState(wire.TCP, addr); !ok || st != StateUp {
+		t.Fatalf("channel state after revival = %v (exists %v), want up", st, ok)
+	}
+
+	epA.Send(wire.TCP, addr, pooled("after"), func(err error) { notify <- err })
+	if err := expectNotify(t, notify); err != nil {
+		t.Fatalf("send after revival: %v", err)
+	}
+	expectDelivery(t, recv, "after")
+
+	// At-most-once across the outage: exactly "before" and "after"
+	// arrived, and the reset "during" message — whose failure notify
+	// already fired — was never retransmitted.
+	got := recv.all()
+	if len(got) != 2 || string(got[0]) != "before" || string(got[1]) != "after" {
+		strs := make([]string, len(got))
+		for i, m := range got {
+			strs[i] = string(m)
 		}
+		t.Fatalf("delivered %q, want exactly [before after]", strs)
 	}
-	if !failed {
-		t.Fatal("sends to a dead peer never reported failure")
-	}
-
-	// Revive on the same port; a fresh send must establish a new channel.
-	recv2 := &collector{}
-	epB2, err := NewEndpoint(Config{ListenAddr: addr, OnMessage: recv2.onMessage,
-		Protocols: []wire.Transport{wire.TCP}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := epB2.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer epB2.Close()
-
-	var sent bool
-	deadline = time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) && !sent {
-		errCh := make(chan error, 1)
-		epA.Send(wire.TCP, addr, []byte("after"), func(err error) { errCh <- err })
-		sent = <-errCh == nil
-	}
-	if !sent {
-		t.Fatal("sends never recovered after revival")
-	}
-	waitCount(t, recv2, 1)
 }
 
 func pickFreePort(t *testing.T) int {

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// ChannelState is the supervision state of one outgoing channel.
+//
+//	connecting ──dial ok──▶ up ──write error──▶ connecting (redial w/ backoff)
+//	connecting ──attempts exhausted──▶ draining ──pending resolved──▶ down
+//
+// A channel leaves the registry only when it reaches down (give-up or
+// fallback) or the endpoint closes; transient write failures keep it
+// registered so queued and future sends ride through the redial.
+type ChannelState int
+
+const (
+	// StateConnecting: dialing, or waiting out a redial backoff. Sends
+	// queue (up to MaxPendingPerPeer).
+	StateConnecting ChannelState = iota + 1
+	// StateUp: established; the run loop is draining the queue.
+	StateUp
+	// StateDraining: the channel is resolving its pending queue on the
+	// way down (failing it, or handing it to a fallback channel).
+	StateDraining
+	// StateDown: terminal; the channel is out of the registry.
+	StateDown
+)
+
+func (s ChannelState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateUp:
+		return "up"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// StatusKind discriminates StatusEvent.
+type StatusKind int
+
+const (
+	// StatusUp: the channel established (first dial or a redial).
+	StatusUp StatusKind = iota + 1
+	// StatusDown: the channel lost its connection (Err says why). If
+	// redial attempts remain a StatusRetry follows; otherwise the
+	// channel is gone and queued sends have failed.
+	StatusDown
+	// StatusRetry: a dial attempt failed; the next one runs after
+	// NextDelay. Emitted only after the backoff timer is armed, so a
+	// test driving a virtual clock can Advance(NextDelay) on receipt
+	// without racing the schedule.
+	StatusRetry
+	// StatusFallback: dial attempts to a UDT destination are exhausted
+	// and the channel's queue moved to TCP (To/ToDest). Future sends to
+	// the original destination are rerouted until the endpoint restarts.
+	StatusFallback
+)
+
+func (k StatusKind) String() string {
+	switch k {
+	case StatusUp:
+		return "up"
+	case StatusDown:
+		return "down"
+	case StatusRetry:
+		return "retry"
+	case StatusFallback:
+		return "fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// StatusEvent reports a supervision transition on one outgoing channel.
+// Events are emitted outside endpoint and channel locks, in order per
+// channel; the OnStatus callback must be goroutine-safe.
+type StatusEvent struct {
+	Kind  StatusKind
+	Proto wire.Transport
+	Dest  string
+	// Attempt counts consecutive failed dials (1-based), NextDelay is
+	// the backoff before the next; set on StatusRetry.
+	Attempt   int
+	NextDelay time.Duration
+	// To/ToDest name the replacement channel on StatusFallback.
+	To     wire.Transport
+	ToDest string
+	// Err is the triggering failure on Down/Retry/Fallback.
+	Err error
+}
+
+// emit delivers ev (stamped with the channel's identity) to the
+// endpoint's OnStatus callback, if any. Must be called without holding
+// c.mu or the endpoint mutex.
+func (c *outChannel) emit(ev StatusEvent) {
+	if c.ep.cfg.OnStatus == nil {
+		return
+	}
+	ev.Proto = c.key.proto
+	ev.Dest = c.key.dest
+	c.ep.cfg.OnStatus(ev)
+}

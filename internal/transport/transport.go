@@ -14,13 +14,16 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
 	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
+	"github.com/kompics/kompicsmessaging-go/internal/faults"
 	"github.com/kompics/kompicsmessaging-go/internal/udt"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
@@ -34,6 +37,11 @@ var (
 	// ErrUnsupported reports a protocol the endpoint does not listen on
 	// or cannot dial.
 	ErrUnsupported = errors.New("transport: unsupported protocol")
+	// ErrQueueFull reports a send rejected because the destination's
+	// pending queue is at MaxPendingPerPeer. The overflow policy is
+	// fail-fast through the normal notify path — never a silent drop —
+	// so a peer outage cannot grow memory without bound.
+	ErrQueueFull = errors.New("transport: pending queue full")
 )
 
 // maxUDPPayload bounds datagrams; IPv4 UDP caps near 65507 and we leave
@@ -61,6 +69,34 @@ type Config struct {
 	UDTPortOffset int
 	// UDT tunes the UDT transport.
 	UDT udt.Config
+	// MaxPendingPerPeer bounds the messages queued per (protocol,
+	// destination) channel while it connects or redials (default 4096).
+	// Overflowing sends fail with ErrQueueFull through notify.
+	MaxPendingPerPeer int
+	// MaxDialAttempts is how many consecutive dial failures a channel
+	// tolerates before giving up — failing its queue, or falling back
+	// to TCP for UDT destinations (default 3).
+	MaxDialAttempts int
+	// RedialBackoff is the base delay between dial attempts; each
+	// attempt doubles it up to RedialBackoffMax, and the actual wait is
+	// jittered to [d/2, d) (defaults 100 ms / 3 s).
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// BackoffSeed seeds the jitter PRNG so supervision timing replays
+	// deterministically (default 1).
+	BackoffSeed int64
+	// DisableFallback turns off UDT→TCP degradation after dial give-up.
+	DisableFallback bool
+	// Clock schedules redial backoff (default clock.Real). Tests inject
+	// clock.Virtual to script outage/recovery without real waiting.
+	Clock clock.Clock
+	// Faults, when non-nil, intercepts dials, stream writes and
+	// outgoing datagrams for failure testing (see internal/faults).
+	Faults *faults.Injector
+	// OnStatus, when non-nil, observes channel supervision transitions
+	// (up/down/retry/fallback). Called from channel goroutines outside
+	// endpoint locks; implementations must be goroutine-safe and fast.
+	OnStatus func(StatusEvent)
 	// OnMessage receives every inbound payload; required before Start.
 	// Called from transport goroutines — implementations must be
 	// goroutine-safe and non-blocking. Ownership of the payload buffer
@@ -86,6 +122,24 @@ func (c Config) withDefaults() Config {
 	if c.UDTPortOffset == 0 {
 		c.UDTPortOffset = 1
 	}
+	if c.MaxPendingPerPeer <= 0 {
+		c.MaxPendingPerPeer = 4096
+	}
+	if c.MaxDialAttempts <= 0 {
+		c.MaxDialAttempts = 3
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 100 * time.Millisecond
+	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 3 * time.Second
+	}
+	if c.BackoffSeed == 0 {
+		c.BackoffSeed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -103,9 +157,18 @@ type Endpoint struct {
 
 	mu       sync.Mutex
 	channels map[chanKey]*outChannel
-	inbound  map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	// fallbacks reroutes UDT destinations whose dial attempts were
+	// exhausted to their TCP equivalent (port un-shifted by
+	// UDTPortOffset) for the life of the endpoint.
+	fallbacks map[string]string
+	inbound   map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	// rng drives redial jitter; seeded from Config.BackoffSeed so
+	// supervision schedules replay run to run.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 type chanKey struct {
@@ -126,10 +189,13 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 			return nil, fmt.Errorf("%w: %v", ErrUnsupported, p)
 		}
 	}
+	cfg = cfg.withDefaults()
 	return &Endpoint{
-		cfg:      cfg.withDefaults(),
-		channels: make(map[chanKey]*outChannel),
-		inbound:  make(map[net.Conn]struct{}),
+		cfg:       cfg,
+		channels:  make(map[chanKey]*outChannel),
+		fallbacks: make(map[string]string),
+		inbound:   make(map[net.Conn]struct{}),
+		rng:       rand.New(rand.NewSource(cfg.BackoffSeed)),
 	}, nil
 }
 
@@ -243,6 +309,19 @@ func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notif
 		fail(ErrClosed)
 		return
 	}
+	if proto == wire.UDT {
+		if tcpDest, ok := e.fallbacks[dest]; ok {
+			proto, dest = wire.TCP, tcpDest
+		}
+	}
+	ch := e.channelLocked(proto, dest)
+	e.mu.Unlock()
+	ch.enqueue(outMsg{payload: payload, notify: notify})
+}
+
+// channelLocked returns the out-channel for (proto, dest), creating it
+// (and its run goroutine) on first use. Caller holds e.mu.
+func (e *Endpoint) channelLocked(proto wire.Transport, dest string) *outChannel {
 	key := chanKey{proto: proto, dest: dest}
 	ch, ok := e.channels[key]
 	if !ok {
@@ -254,8 +333,22 @@ func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notif
 			ch.run()
 		}()
 	}
+	return ch
+}
+
+// ChannelState reports the supervision state of the outgoing channel
+// for (proto, dest); ok is false when no such channel exists (never
+// created, or already torn down).
+func (e *Endpoint) ChannelState(proto wire.Transport, dest string) (ChannelState, bool) {
+	e.mu.Lock()
+	ch, ok := e.channels[chanKey{proto: proto, dest: dest}]
 	e.mu.Unlock()
-	ch.enqueue(outMsg{payload: payload, notify: notify})
+	if !ok {
+		return StateDown, false
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.state, true
 }
 
 // dropChannel removes a failed channel so the next Send redials.
@@ -428,12 +521,19 @@ type outChannel struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []outMsg
+	state  ChannelState
 	closed bool
 	err    error
+	// redialWake is set by the backoff timer to end a redial wait.
+	redialWake bool
+	// redirect, when set on a closed channel, forwards late enqueues
+	// instead of failing them (used by UDT→TCP fallback so sends racing
+	// the switchover are not lost).
+	redirect *outChannel
 }
 
 func newOutChannel(ep *Endpoint, key chanKey) *outChannel {
-	c := &outChannel{ep: ep, key: key}
+	c := &outChannel{ep: ep, key: key, state: StateConnecting}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -441,9 +541,19 @@ func newOutChannel(ep *Endpoint, key chanKey) *outChannel {
 func (c *outChannel) enqueue(m outMsg) {
 	c.mu.Lock()
 	if c.closed {
-		err := c.err
+		redir, err := c.redirect, c.err
 		c.mu.Unlock()
+		if redir != nil {
+			redir.enqueue(m)
+			return
+		}
 		m.release(err)
+		return
+	}
+	if len(c.queue) >= c.ep.cfg.MaxPendingPerPeer {
+		dest := c.key.dest
+		c.mu.Unlock()
+		m.release(fmt.Errorf("%w: %d pending to %s", ErrQueueFull, c.ep.cfg.MaxPendingPerPeer, dest))
 		return
 	}
 	c.queue = append(c.queue, m)
@@ -499,6 +609,7 @@ func (c *outChannel) close(err error) {
 	}
 	c.closed = true
 	c.err = err
+	c.state = StateDraining
 	pending := c.queue
 	c.queue = nil
 	c.mu.Unlock()
@@ -506,29 +617,86 @@ func (c *outChannel) close(err error) {
 	for _, m := range pending {
 		m.release(err)
 	}
+	c.setState(StateDown)
 }
 
-// run dials the destination and drains the queue batch-wise; on a write
-// error the channel is dropped so a later Send re-establishes it. Notify
-// semantics are per message and in queue order: messages that fully
-// reached the socket before a mid-batch failure succeed, only the unsent
-// tail fails.
+func (c *outChannel) setState(s ChannelState) {
+	c.mu.Lock()
+	c.state = s
+	c.mu.Unlock()
+}
+
+// run supervises the channel: dial under capped exponential backoff,
+// pump batches while up, and on a write error fall back to redialing —
+// the channel stays in the registry so queued and future sends ride
+// through the outage. Only after MaxDialAttempts consecutive dial
+// failures does the channel give up: UDT destinations degrade to TCP,
+// everything else fails its queue and leaves the registry.
+//
+// Notify semantics are per message and in queue order: messages that
+// fully reached the socket before a mid-batch failure succeed, only the
+// unsent tail fails — and a message whose notify already fired is never
+// retransmitted across a reconnect (at-most-once is preserved).
 func (c *outChannel) run() {
-	conn, err := c.dial()
-	if err != nil {
-		c.ep.cfg.Logger.Warn("transport: dial failed",
+	attempt := 0
+	for {
+		conn, err := c.dial()
+		if err != nil {
+			attempt++
+			c.ep.cfg.Logger.Warn("transport: dial failed",
+				"proto", c.key.proto.String(), "dest", c.key.dest,
+				"attempt", attempt, "err", err)
+			if attempt < c.ep.cfg.MaxDialAttempts {
+				if c.awaitRedial(attempt, err) {
+					continue
+				}
+				return // endpoint closed the channel while it waited
+			}
+			// Attempts exhausted: degrade UDT to TCP, or give up.
+			if c.key.proto == wire.UDT && !c.ep.cfg.DisableFallback && c.ep.fallbackToTCP(c, err) {
+				return
+			}
+			c.ep.dropChannel(c.key, c)
+			c.emit(StatusEvent{Kind: StatusDown, Err: err})
+			c.close(err)
+			return
+		}
+		attempt = 0
+		c.mu.Lock()
+		wasClosed := c.closed
+		if !wasClosed {
+			c.state = StateUp
+		}
+		c.mu.Unlock()
+		if wasClosed { // endpoint shut down mid-dial
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+		c.emit(StatusEvent{Kind: StatusUp})
+		err = c.pump(conn)
+		if conn != nil {
+			conn.Close()
+		}
+		if err == nil {
+			return // channel closed while pumping
+		}
+		c.ep.cfg.Logger.Warn("transport: write failed",
 			"proto", c.key.proto.String(), "dest", c.key.dest, "err", err)
-		c.ep.dropChannel(c.key, c)
-		c.close(err)
-		return
+		c.setState(StateConnecting)
+		c.emit(StatusEvent{Kind: StatusDown, Err: err})
 	}
-	if conn != nil {
-		defer conn.Close()
-	}
+}
+
+// pump drains batches into conn until the channel closes (returns nil)
+// or a write fails (returns the error; the unsent tail of the batch has
+// been failed, never to be retransmitted).
+func (c *outChannel) pump(conn net.Conn) error {
 	for {
 		batch, ok := c.nextBatch()
 		if !ok {
-			return
+			return nil
 		}
 		sent, err := c.writeBatch(conn, batch)
 		for i := range batch {
@@ -540,27 +708,143 @@ func (c *outChannel) run() {
 		}
 		c.releaseBatch()
 		if err != nil {
-			c.ep.cfg.Logger.Warn("transport: write failed",
-				"proto", c.key.proto.String(), "dest", c.key.dest, "err", err)
-			c.ep.dropChannel(c.key, c)
-			c.close(err)
-			return
+			return err
 		}
 	}
 }
 
+// awaitRedial parks the channel for the attempt's jittered backoff,
+// returning false when the channel closed while waiting. The Retry
+// status event is emitted after the timer is armed, so an observer
+// driving a virtual clock can Advance(NextDelay) on receipt without
+// racing the schedule.
+func (c *outChannel) awaitRedial(attempt int, dialErr error) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.redialWake = false
+	c.mu.Unlock()
+	delay := c.backoffDelay(attempt)
+	t := c.ep.cfg.Clock.AfterFunc(delay, func() {
+		c.mu.Lock()
+		c.redialWake = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	c.emit(StatusEvent{Kind: StatusRetry, Attempt: attempt, NextDelay: delay, Err: dialErr})
+	c.mu.Lock()
+	for !c.redialWake && !c.closed {
+		c.cond.Wait()
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	t.Stop()
+	return !closed
+}
+
+// backoffDelay computes the capped exponential backoff for the given
+// 1-based attempt — base·2^(attempt-1) clamped to RedialBackoffMax —
+// then jitters it to [d/2, d) with the endpoint's seeded PRNG so
+// simultaneous redial storms decorrelate.
+func (c *outChannel) backoffDelay(attempt int) time.Duration {
+	d := c.ep.cfg.RedialBackoff
+	for i := 1; i < attempt && d < c.ep.cfg.RedialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.ep.cfg.RedialBackoffMax {
+		d = c.ep.cfg.RedialBackoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + c.ep.jitter(half)
+}
+
+func (e *Endpoint) jitter(n time.Duration) time.Duration {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return time.Duration(e.rng.Int63n(int64(n)))
+}
+
+// fallbackToTCP reroutes a UDT channel whose dial attempts are
+// exhausted onto the TCP channel for the same host: the destination
+// port is un-shifted by UDTPortOffset (reversing the dialer
+// convention), pending messages move across in queue order — none has
+// been notified, so at-most-once holds — and future Sends to the UDT
+// destination follow until the endpoint restarts. Returns false when no
+// fallback is possible (endpoint closed, or unparseable destination).
+func (e *Endpoint) fallbackToTCP(c *outChannel, dialErr error) bool {
+	tcpDest, err := OffsetPort(c.key.dest, -e.cfg.UDTPortOffset)
+	if err != nil {
+		return false
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	if e.channels[c.key] == c {
+		delete(e.channels, c.key)
+	}
+	e.fallbacks[c.key.dest] = tcpDest
+	tcp := e.channelLocked(wire.TCP, tcpDest)
+	e.mu.Unlock()
+
+	c.setState(StateDraining)
+	c.emit(StatusEvent{Kind: StatusFallback, To: wire.TCP, ToDest: tcpDest, Err: dialErr})
+	c.mu.Lock()
+	c.closed = true
+	c.err = ErrClosed
+	c.redirect = tcp
+	pending := c.queue
+	c.queue = nil
+	c.state = StateDown
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	for _, m := range pending {
+		tcp.enqueue(m)
+	}
+	return true
+}
+
 // dial opens the stream connection; UDP needs none (nil conn) but resolves
-// and caches the destination address once, instead of per datagram.
+// and caches the destination address once, instead of per datagram. The
+// fault injector, when configured, can refuse the dial outright; stream
+// connections come back wrapped with its write seam.
 func (c *outChannel) dial() (net.Conn, error) {
+	c.setState(StateConnecting)
+	inj := c.ep.cfg.Faults
+	if err := inj.Dial(c.key.proto, c.key.dest); err != nil {
+		return nil, err
+	}
 	switch c.key.proto {
 	case wire.TCP:
-		return net.DialTimeout("tcp", c.key.dest, c.ep.cfg.DialTimeout)
+		conn, err := net.DialTimeout("tcp", c.key.dest, c.ep.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapFaults(conn), nil
 	case wire.UDT:
 		cfg := c.ep.cfg.UDT
 		if cfg.HandshakeTimeout <= 0 {
 			cfg.HandshakeTimeout = c.ep.cfg.DialTimeout
 		}
-		return udt.Dial(c.key.dest, cfg)
+		if inj != nil {
+			// Blackhole rules apply to UDT's own data packets: merge the
+			// injector into the connection's loss hook.
+			dest, prev := c.key.dest, cfg.LossInjector
+			cfg.LossInjector = func() bool {
+				return (prev != nil && prev()) || inj.DropDatagram(wire.UDT, dest)
+			}
+		}
+		conn, err := udt.Dial(c.key.dest, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapFaults(conn), nil
 	case wire.UDP:
 		if c.ep.udpSock != nil {
 			addr, err := net.ResolveUDPAddr("udp", c.key.dest)
@@ -570,10 +854,24 @@ func (c *outChannel) dial() (net.Conn, error) {
 			c.udpAddr = addr
 			return nil, nil // send from the listening socket
 		}
-		return net.DialTimeout("udp", c.key.dest, c.ep.cfg.DialTimeout)
+		conn, err := net.DialTimeout("udp", c.key.dest, c.ep.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapFaults(conn), nil
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnsupported, c.key.proto)
 	}
+}
+
+// wrapFaults installs the injector's write seam on a dialed connection.
+// With no injector the connection is returned untouched, preserving the
+// *net.TCPConn vectored-write fast path.
+func (c *outChannel) wrapFaults(conn net.Conn) net.Conn {
+	if c.ep.cfg.Faults == nil {
+		return conn
+	}
+	return c.ep.cfg.Faults.WrapConn(conn, c.key.proto, c.key.dest)
 }
 
 // writeBatch sends a drained batch and returns how many of its messages
@@ -582,7 +880,11 @@ func (c *outChannel) dial() (net.Conn, error) {
 // boundaries; stream sends are coalesced.
 func (c *outChannel) writeBatch(conn net.Conn, batch []outMsg) (int, error) {
 	if c.key.proto == wire.UDP {
+		inj := c.ep.cfg.Faults
 		for i := range batch {
+			if inj.DropDatagram(wire.UDP, c.key.dest) {
+				continue // blackholed: "sent" as far as this host knows
+			}
 			var err error
 			if conn != nil {
 				_, err = conn.Write(batch[i].payload)

@@ -47,6 +47,12 @@ type Config struct {
 	// true result drops the packet before the socket. Test hook for
 	// exercising NAK/retransmission machinery deterministically.
 	LossInjector func() bool
+	// PeerDeathEXPs is how many consecutive EXP-timer expirations
+	// without any ACK progress declare the peer unreachable: blocked
+	// Read/Write calls fail with ErrPeerDead and every pooled buffer the
+	// connection owns is released (default 20 ≈ 2 s of silence with data
+	// in flight; negative disables detection).
+	PeerDeathEXPs int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.LingerTimeout <= 0 {
 		c.LingerTimeout = 10 * time.Second
 	}
+	if c.PeerDeathEXPs == 0 {
+		c.PeerDeathEXPs = 20
+	}
 	return c
 }
 
@@ -81,6 +90,9 @@ const minRate = 128 << 10
 var (
 	// ErrClosed reports use of a closed connection.
 	ErrClosed = errors.New("udt: connection closed")
+	// ErrPeerDead reports a peer declared unreachable by the EXP timer
+	// (Config.PeerDeathEXPs expirations with zero ACK progress).
+	ErrPeerDead = errors.New("udt: peer unreachable")
 	// ErrTimeout reports an expired deadline; it satisfies net.Error.
 	ErrTimeout = timeoutError{}
 )
@@ -151,9 +163,12 @@ type Conn struct {
 	established   bool
 	establishedCh chan struct{}
 	closed        bool
-	peerClosed    bool
-	done          chan struct{}
-	wg            sync.WaitGroup
+	// dead marks a peer declared unreachable by the EXP timer; set with
+	// the buffers already released, so no path may repool after it.
+	dead       bool
+	peerClosed bool
+	done       chan struct{}
+	wg         sync.WaitGroup
 
 	readDeadline  time.Time
 	writeDeadline time.Time
@@ -208,6 +223,9 @@ func (c *Conn) Read(b []byte) (int, error) {
 	for c.rcvSegHead == len(c.rcvSegs) {
 		if c.closed {
 			return 0, ErrClosed
+		}
+		if c.dead {
+			return 0, ErrPeerDead
 		}
 		if c.peerClosed {
 			return 0, io.EOF
@@ -270,6 +288,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 	c.mu.Lock()
 	for len(b) > 0 {
 		for c.sndQueueBytes >= c.cfg.SndQueue {
+			if c.dead {
+				c.mu.Unlock()
+				return total, ErrPeerDead
+			}
 			if c.closed || c.peerClosed {
 				c.mu.Unlock()
 				return total, ErrClosed
@@ -279,6 +301,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 				return total, ErrTimeout
 			}
 			c.waitWrite()
+		}
+		if c.dead {
+			c.mu.Unlock()
+			return total, ErrPeerDead
 		}
 		if c.closed || c.peerClosed {
 			c.mu.Unlock()
@@ -358,8 +384,8 @@ func (c *Conn) Close() error {
 
 // releaseBuffersLocked returns every pooled buffer the connection owns —
 // unsent queue, in-flight window, out-of-order window and undelivered
-// segments — to bufpool. Caller holds mu with c.closed already set, so no
-// other path will touch these buffers again.
+// segments — to bufpool. Caller holds mu with c.closed or c.dead already
+// set, so no other path will touch these buffers again.
 func (c *Conn) releaseBuffersLocked() {
 	for i, p := range c.sndQueue {
 		if p != nil {
@@ -483,7 +509,7 @@ func (c *Conn) sendBurst(batch *sendBatch, budget float64) int {
 	burstBytes := 0
 	queuedFresh := false
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.dead {
 		c.mu.Unlock()
 		return 0
 	}
@@ -596,6 +622,7 @@ func (c *Conn) ackLoop() {
 	defer ticker.Stop()
 	staleTicks := 0
 	expCounter := 0
+	expEvents := 0
 	lastUnack := uint32(0)
 	for {
 		select {
@@ -624,31 +651,50 @@ func (c *Conn) ackLoop() {
 
 		// EXP timer: no ACK progress while data is in flight.
 		kick := false
+		died := false
 		if c.sndUnacked.len() > 0 {
 			if c.sndFirstUnack == lastUnack {
 				expCounter++
 			} else {
 				expCounter = 0
+				expEvents = 0
 			}
 			if expCounter >= expTicks && c.loss.empty() {
-				// Cumulative ACKs mean everything in
-				// [sndFirstUnack, sndNextSeq) is still in flight:
-				// reschedule it as one range.
-				c.loss.insert(c.sndFirstUnack, c.sndNextSeq-1)
-				c.slowStart = false
-				c.rate = c.rate * 8 / 9
-				if c.rate < minRate {
-					c.rate = minRate
+				expEvents++
+				if c.cfg.PeerDeathEXPs > 0 && expEvents >= c.cfg.PeerDeathEXPs {
+					// The peer stayed silent through PeerDeathEXPs full
+					// retransmission rounds: declare it dead, fail blocked
+					// I/O promptly and release every station buffer now
+					// rather than at some eventual Close.
+					c.dead = true
+					c.releaseBuffersLocked()
+					died = true
+				} else {
+					// Cumulative ACKs mean everything in
+					// [sndFirstUnack, sndNextSeq) is still in flight:
+					// reschedule it as one range.
+					c.loss.insert(c.sndFirstUnack, c.sndNextSeq-1)
+					c.slowStart = false
+					c.rate = c.rate * 8 / 9
+					if c.rate < minRate {
+						c.rate = minRate
+					}
+					kick = true
 				}
 				expCounter = 0
-				kick = true
 			}
 		} else {
 			expCounter = 0
+			expEvents = 0
 		}
 		lastUnack = c.sndFirstUnack
 		c.mu.Unlock()
 
+		if died {
+			c.readCond.Broadcast()
+			c.writeCond.Broadcast()
+			continue // stay on duty for ACK/shutdown bookkeeping until Close
+		}
 		if needAck {
 			c.send(encodeAck(ackSeq, uint32(window)))
 		}
@@ -732,7 +778,7 @@ func (c *Conn) handleData(b []byte) {
 	hasGap := false
 	c.mu.Lock()
 	switch {
-	case c.closed:
+	case c.closed || c.dead:
 		// Teardown already recycled the receive buffers; drop.
 	case seqLess(seq, c.rcvNextSeq):
 		// Duplicate of already-delivered data; the periodic ACK covers it.
@@ -795,6 +841,12 @@ func (c *Conn) handleAck(b []byte) {
 		return
 	}
 	c.mu.Lock()
+	if c.dead {
+		// A late ACK cannot resurrect the connection; the windows are
+		// already drained.
+		c.mu.Unlock()
+		return
+	}
 	// Clamp to what was actually sent: a corrupt or hostile ACK beyond
 	// sndNextSeq must not walk the ring (alias risk) nor spin the loop.
 	if seqLess(c.sndNextSeq, ackSeq) {

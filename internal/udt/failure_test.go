@@ -5,8 +5,11 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
 )
 
 func TestZeroLengthWrite(t *testing.T) {
@@ -146,6 +149,59 @@ func TestStatsAccessors(t *testing.T) {
 	}
 	if client.Rate() <= 0 {
 		t.Fatal("rate not positive")
+	}
+}
+
+// TestPeerDeathFailsIOAndReleasesBuffers blackholes every data packet
+// mid-stream: after PeerDeathEXPs consecutive EXP expirations with zero
+// ACK progress the peer is declared dead — a blocked Read fails with
+// ErrPeerDead without any deadline, Write fails likewise, and every
+// pooled station buffer (send queue and in-flight window) is back in
+// the pool immediately, not at some eventual Close.
+func TestPeerDeathFailsIOAndReleasesBuffers(t *testing.T) {
+	bufpool.ResetStats()
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+
+	var blackhole atomic.Bool
+	cfg := Config{
+		PeerDeathEXPs: 2, // two silent retransmission rounds suffice here
+		LossInjector:  func() bool { return blackhole.Load() },
+	}
+	client, server, cleanup := pair(t, cfg)
+	defer cleanup()
+
+	// Healthy exchange first: ACK progress must keep the death counter
+	// at zero.
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	server.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer "vanishes": every outgoing data packet — fresh or
+	// retransmitted — is dropped before the socket, so the in-flight
+	// window can never be acknowledged again.
+	blackhole.Store(true)
+	if _, err := client.Write(make([]byte, 256<<10)); err != nil {
+		t.Fatalf("write into the send queue: %v", err)
+	}
+
+	// This Read blocks with no deadline; only the EXP timer's death
+	// verdict can release it.
+	if _, err := client.Read(buf); err != ErrPeerDead {
+		t.Fatalf("Read during peer death = %v, want ErrPeerDead", err)
+	}
+	if _, err := client.Write([]byte("x")); err != ErrPeerDead {
+		t.Fatalf("Write after peer death = %v, want ErrPeerDead", err)
+	}
+
+	// Death released every pooled buffer the pair owned.
+	if n := bufpool.Outstanding(); n != 0 {
+		t.Fatalf("%d pooled buffer(s) outstanding after peer death", n)
 	}
 }
 
