@@ -16,11 +16,13 @@ GO ?= go
 HOTPATH_PKGS = ./internal/core/ ./internal/transport/
 HOTPATH_OUT  = BENCH_hotpath.out
 UDT_OUT      = BENCH_udt.out
+SHARD_PKGS   = ./internal/transport/ ./internal/core/
+SHARD_OUT    = BENCH_shard.out
 
 FAULT_PKGS = ./internal/faults/ ./internal/transport/ ./internal/core/ ./internal/udt/
 FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole|Backoff|Status|StopThenRestart'
 
-.PHONY: check test test-faults build vet lint bench bench-hotpath bench-udt
+.PHONY: check test test-faults build vet lint bench bench-hotpath bench-udt bench-shard
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -49,6 +51,15 @@ bench-udt:
 	$(GO) test -bench UDT -run '^$$' -benchmem -benchtime 2s . | tee $(UDT_OUT)
 	$(GO) run ./cmd/benchjson -label current -out BENCH_udt.json < $(UDT_OUT)
 	@rm -f $(UDT_OUT)
+
+# bench-shard reruns the fan-out scaling benchmarks (BenchmarkFanoutSend /
+# BenchmarkFanoutSendNetwork) and refreshes the "current" section of
+# BENCH_shard.json; the frozen "baseline" section holds the pre-sharding
+# numbers. The benchmarks sweep GOMAXPROCS 1/4/NumCPU themselves.
+bench-shard:
+	$(GO) test -bench FanoutSend -run '^$$' -benchmem $(SHARD_PKGS) | tee $(SHARD_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_shard.json < $(SHARD_OUT)
+	@rm -f $(SHARD_OUT)
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 
 	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
 	"github.com/kompics/kompicsmessaging-go/internal/kompics"
 	"github.com/kompics/kompicsmessaging-go/internal/transport"
@@ -72,6 +74,15 @@ type NetworkConfig struct {
 	// ListenAddr port + offset (default 1; raw UDP and UDT cannot share
 	// one UDP port).
 	UDTPortOffset int
+	// CodecWorkers sizes the parallel encode stage that serialises and
+	// compresses outgoing wire messages off the component thread (default
+	// GOMAXPROCS). Per-peer send order is preserved regardless of the
+	// worker count.
+	CodecWorkers int
+	// CodecInflight bounds encode jobs submitted but not yet handed to the
+	// transport (default 256). At the bound the component thread encodes
+	// inline instead of queueing further — backpressure, not blocking.
+	CodecInflight int
 	// Transport tunes the underlying endpoint (UDT config, frame limit).
 	Transport transport.Config
 	// Logger receives diagnostics (default slog.Default()).
@@ -95,6 +106,12 @@ type Network struct {
 	comp       *kompics.Component
 	ctx        *kompics.Context
 	epsMu      sync.Mutex // guards ep swaps across restarts
+	// stage is the parallel codec stage; accessed only on the component
+	// thread (created in OnStart, torn down in OnStop/OnKill, consulted in
+	// sendMsg), so it needs no lock of its own.
+	stage *codecStage
+	// warnLimit throttles the dropping-unsendable-message warn.
+	warnLimit *warnLimiter
 }
 
 var _ kompics.Definition = (*Network)(nil)
@@ -120,7 +137,16 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if cfg.UDTPortOffset == 0 {
 		cfg.UDTPortOffset = 1
 	}
-	return &Network{cfg: cfg}, nil
+	if cfg.CodecWorkers <= 0 {
+		cfg.CodecWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CodecInflight <= 0 {
+		cfg.CodecInflight = 256
+	}
+	if cfg.Transport.Clock == nil {
+		cfg.Transport.Clock = clock.Real{}
+	}
+	return &Network{cfg: cfg, warnLimit: newWarnLimiter(cfg.Transport.Clock)}, nil
 }
 
 // Port returns the provided network port, for wiring after Create.
@@ -213,8 +239,16 @@ func (n *Network) Init(ctx *kompics.Context) {
 			panic(err) // faults the component; supervisors see it
 		}
 		n.setEndpoint(ep)
+		n.stage = newCodecStage(n, n.cfg.CodecWorkers, n.cfg.CodecInflight)
 	})
 	stop := func() {
+		// Stage first: its close waits for in-flight encodes, whose
+		// releases still reach the live endpoint and resolve through its
+		// notify contract; only then is the endpoint torn down.
+		if st := n.stage; st != nil {
+			n.stage = nil
+			st.close()
+		}
 		if ep := n.endpoint(); ep != nil {
 			ep.Close()
 		}
@@ -246,41 +280,41 @@ func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
 			fmt.Errorf("core: cannot send %v message without a DATA interceptor", proto))
 		return
 	}
-	payload, err := n.encode(msg)
-	if err != nil {
-		n.notify(notifyID, wantNotify, err)
-		return
-	}
-	var cb func(error)
-	if wantNotify {
-		id := notifyID
-		cb = func(err error) { n.comp.SelfTrigger(sendOutcome{id: id, err: err}) }
-	}
 	dest := dst.AsSocket()
 	if proto == UDT {
 		shifted, err := transport.OffsetPort(dest, n.cfg.UDTPortOffset)
 		if err != nil {
-			bufpool.Put(payload)
 			n.notify(notifyID, wantNotify, err)
 			return
 		}
 		dest = shifted
 	}
-	ep := n.endpoint()
-	if ep == nil {
-		bufpool.Put(payload)
+	if n.stage == nil {
 		n.notify(notifyID, wantNotify, errors.New("core: network not started"))
 		return
 	}
-	// Send takes ownership of payload and recycles it into bufpool once
-	// the write outcome is decided.
-	ep.Send(proto, dest, payload, cb)
+	// The stage encodes off the component thread and hands the payload to
+	// Endpoint.Send in per-(proto, dest) submission order.
+	n.stage.submit(msg, proto, dest, notifyID, wantNotify)
 }
 
+// notify resolves one send: a NotifyResp on the port when the sender
+// asked for one, otherwise a rate-limited warn on failure (a dead peer
+// under fan-out load fails every message; the token bucket keeps the
+// logger out of the hot path while the suppressed count preserves the
+// failure's magnitude). Callable from codec workers as well as the
+// component thread — Trigger is goroutine-safe and the limiter locks.
 func (n *Network) notify(id uint64, want bool, err error) {
 	if !want {
 		if err != nil {
-			n.cfg.Logger.Warn("core: dropping unsendable message", "err", err)
+			if ok, suppressed := n.warnLimit.allow(); ok {
+				if suppressed > 0 {
+					n.cfg.Logger.Warn("core: dropping unsendable message",
+						"err", err, "suppressed", suppressed)
+				} else {
+					n.cfg.Logger.Warn("core: dropping unsendable message", "err", err)
+				}
+			}
 		}
 		return
 	}

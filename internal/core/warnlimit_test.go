@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+	"github.com/kompics/kompicsmessaging-go/internal/transport"
+)
+
+// recordingHandler counts warn records and captures their attributes.
+type recordingHandler struct {
+	mu      sync.Mutex
+	records []map[string]any
+}
+
+func (h *recordingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *recordingHandler) Handle(_ context.Context, r slog.Record) error {
+	attrs := map[string]any{}
+	r.Attrs(func(a slog.Attr) bool {
+		attrs[a.Key] = a.Value.Any()
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, attrs)
+	h.mu.Unlock()
+	return nil
+}
+func (h *recordingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *recordingHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *recordingHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.records)
+}
+
+// TestNotifyWarnRateLimit drives Network.notify directly on a virtual
+// clock: a flood of unsendable fire-and-forget messages must produce at
+// most warnBurst log lines, and the next line after the clock advances
+// must carry the suppressed count.
+func TestNotifyWarnRateLimit(t *testing.T) {
+	vclk := clock.NewVirtual()
+	h := &recordingHandler{}
+	netDef, err := NewNetwork(NetworkConfig{
+		Self:      MustParseAddress("127.0.0.1:9"),
+		Logger:    slog.New(h),
+		Transport: transport.Config{Clock: vclk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	failure := errors.New("peer unreachable")
+	const flood = 500
+	for i := 0; i < flood; i++ {
+		netDef.notify(0, false, failure)
+	}
+	if got := h.count(); got != warnBurst {
+		t.Fatalf("flood of %d produced %d warn lines, want %d", flood, got, warnBurst)
+	}
+
+	// One refill interval buys exactly one more line, which must report
+	// everything swallowed during the flood.
+	vclk.Advance(time.Second)
+	netDef.notify(0, false, failure)
+	if got := h.count(); got != warnBurst+1 {
+		t.Fatalf("after refill got %d lines, want %d", got, warnBurst+1)
+	}
+	h.mu.Lock()
+	last := h.records[len(h.records)-1]
+	h.mu.Unlock()
+	if sup, _ := last["suppressed"].(int64); sup != flood-warnBurst {
+		t.Fatalf("suppressed attr = %v, want %d", last["suppressed"], flood-warnBurst)
+	}
+
+	// Successes and notify-requested failures never consume the logger.
+	netDef.notify(0, false, nil)
+	if got := h.count(); got != warnBurst+1 {
+		t.Fatalf("nil error logged: %d lines", got)
+	}
+}

@@ -808,13 +808,6 @@ func TestPropertyFIFOExactlyOnce(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestStressManyComponents(t *testing.T) {
 	// 50 ponger components behind one port each, 20 pingers hammering
 	// them: the scheduler must deliver everything exactly once with no

@@ -1,143 +1,31 @@
 package kompics
 
-import "sync"
-
-// runQueue is a growable FIFO ring buffer of components. The previous
-// slice-based queue popped with `queue = queue[1:]`, which both kept the
-// vacated slot reachable (pinning the Component for GC) and slid the
-// window down the backing array so that steady traffic forced endless
-// reallocation; the ring reuses its buffer in place.
-type runQueue struct {
-	buf  []*Component
-	head int // index of the front element
-	n    int // number of queued elements
-}
-
-// push appends c at the tail, growing the ring when full.
-func (q *runQueue) push(c *Component) {
-	if q.n == len(q.buf) {
-		q.grow()
-	}
-	q.buf[(q.head+q.n)%len(q.buf)] = c
-	q.n++
-}
-
-// pop removes and returns the front element, zeroing the vacated slot so
-// the component is not pinned. Callers check q.n > 0 first.
-func (q *runQueue) pop() *Component {
-	c := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
-	q.n--
-	return c
-}
-
-func (q *runQueue) grow() {
-	next := make([]*Component, max(16, 2*len(q.buf)))
-	for i := 0; i < q.n; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
-	}
-	q.buf = next
-	q.head = 0
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// scheduler runs components on a fixed pool of workers. Components that
-// have queued events wait in a FIFO run queue; a component is in the queue
-// at most once (the scheduled flag in Component guards admission), which
-// gives the one-thread-at-a-time execution guarantee.
+// scheduler runs components on a fixed pool of workers — a thin
+// specialisation of WorkPool. Components that have queued events wait in
+// the pool's FIFO run queue; a component is in the queue at most once (the
+// scheduled flag in Component guards admission), which gives the
+// one-thread-at-a-time execution guarantee. A component whose execute
+// reports runnable work left is requeued by the pool, atomically with the
+// worker going idle, so AwaitQuiescence cannot observe a gap.
 type scheduler struct {
-	maxEvents int
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  runQueue
-	closed bool
-
-	// busy counts components currently executing on a worker; together
-	// with an empty queue it defines quiescence.
-	busy    int
-	idleCnd *sync.Cond
-
-	wg sync.WaitGroup
+	pool *WorkPool[*Component]
 }
 
 func newScheduler(workers, maxEvents int) *scheduler {
-	s := &scheduler{maxEvents: maxEvents}
-	s.cond = sync.NewCond(&s.mu)
-	s.idleCnd = sync.NewCond(&s.mu)
-	for i := 0; i < workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	return &scheduler{
+		pool: NewWorkPool(workers, func(c *Component) bool {
+			return c.execute(maxEvents)
+		}),
 	}
-	return s
 }
 
 // ready places a component at the tail of the run queue.
-func (s *scheduler) ready(c *Component) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.queue.push(c)
-	s.mu.Unlock()
-	s.cond.Signal()
-}
-
-func (s *scheduler) worker() {
-	defer s.wg.Done()
-	for {
-		s.mu.Lock()
-		for s.queue.n == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		c := s.queue.pop()
-		s.busy++
-		s.mu.Unlock()
-
-		again := c.execute(s.maxEvents)
-
-		s.mu.Lock()
-		s.busy--
-		if again && !s.closed {
-			s.queue.push(c)
-			s.cond.Signal()
-		}
-		if s.busy == 0 && s.queue.n == 0 {
-			s.idleCnd.Broadcast()
-		}
-		s.mu.Unlock()
-	}
-}
+func (s *scheduler) ready(c *Component) { s.pool.Submit(c) }
 
 // close stops all workers. Queued work is abandoned.
-func (s *scheduler) close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	s.idleCnd.Broadcast()
-	s.wg.Wait()
-}
+func (s *scheduler) close() { s.pool.Close() }
 
 // awaitIdle blocks until the run queue is empty and no component is
 // executing, or the scheduler is closed. Note that quiescence is momentary:
 // external goroutines (timers, sockets) may enqueue new work afterwards.
-func (s *scheduler) awaitIdle() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for (s.queue.n > 0 || s.busy > 0) && !s.closed {
-		s.idleCnd.Wait()
-	}
-}
+func (s *scheduler) awaitIdle() { s.pool.AwaitIdle() }

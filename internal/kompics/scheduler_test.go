@@ -4,7 +4,7 @@ import "testing"
 
 // TestRunQueueFIFO exercises order and wraparound across growth.
 func TestRunQueueFIFO(t *testing.T) {
-	var q runQueue
+	var q ring[*Component]
 	comps := make([]*Component, 100)
 	for i := range comps {
 		comps[i] = &Component{}
@@ -36,7 +36,7 @@ func TestRunQueueFIFO(t *testing.T) {
 // re-allocated forever under steady traffic. The ring must reach a fixed
 // capacity and stay there no matter how many operations flow through.
 func TestRunQueueNoGrowthAtSteadyState(t *testing.T) {
-	var q runQueue
+	var q ring[*Component]
 	c := &Component{}
 	// Steady state: bounded occupancy (≤ 8), many operations.
 	for i := 0; i < 100000; i++ {
@@ -55,7 +55,7 @@ func TestRunQueueNoGrowthAtSteadyState(t *testing.T) {
 // TestRunQueuePopZeroesSlot checks popped slots are cleared so finished
 // components are not pinned by the queue's backing array.
 func TestRunQueuePopZeroesSlot(t *testing.T) {
-	var q runQueue
+	var q ring[*Component]
 	q.push(&Component{})
 	head := q.head
 	q.pop()

@@ -1,0 +1,82 @@
+package kompics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkPoolRunsEverySubmission checks FIFO admission and completion of
+// every submitted item across concurrent producers.
+func TestWorkPoolRunsEverySubmission(t *testing.T) {
+	var ran atomic.Int64
+	pool := NewWorkPool(4, func(int) bool {
+		ran.Add(1)
+		return false
+	})
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if !pool.Submit(j) {
+					t.Error("submit refused on open pool")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pool.AwaitIdle()
+	if got := ran.Load(); got != producers*per {
+		t.Fatalf("ran %d of %d items", got, producers*per)
+	}
+	pool.Close()
+	if pool.Submit(1) {
+		t.Fatal("submit accepted after Close")
+	}
+}
+
+// TestWorkPoolRequeue checks that run's requeue result re-admits the item
+// until it reports done, and that AwaitIdle only returns once the requeue
+// chain is exhausted.
+func TestWorkPoolRequeue(t *testing.T) {
+	var steps atomic.Int64
+	pool := NewWorkPool(2, func(int) bool {
+		return steps.Add(1) < 10
+	})
+	defer pool.Close()
+	pool.Submit(0)
+	pool.AwaitIdle()
+	if got := steps.Load(); got != 10 {
+		t.Fatalf("item executed %d times, want 10", got)
+	}
+}
+
+// TestWorkPoolSingleWorkerOrder checks items run in submission order on a
+// one-worker pool — the property the codec sequencer's release path and
+// the scheduler's FIFO fairness both lean on.
+func TestWorkPoolSingleWorkerOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	pool := NewWorkPool(1, func(i int) bool {
+		mu.Lock()
+		got = append(got, i)
+		mu.Unlock()
+		return false
+	})
+	defer pool.Close()
+	for i := 0; i < 100; i++ {
+		pool.Submit(i)
+	}
+	pool.AwaitIdle()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d ran item %d; order violated", i, v)
+		}
+	}
+}

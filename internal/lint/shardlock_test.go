@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestShardLockSeededBugs(t *testing.T) {
+	runFixture(t, "testdata/shardlock/bad", []*Analyzer{ShardLock}, false)
+}
+
+func TestShardLockCleanPatterns(t *testing.T) {
+	runFixture(t, "testdata/shardlock/clean", []*Analyzer{ShardLock}, false)
+}

@@ -282,10 +282,7 @@ func TestManyChannelsManyPeers(t *testing.T) {
 			}
 		}
 	}
-	epA.mu.Lock()
-	n := len(epA.channels)
-	epA.mu.Unlock()
-	if n != peers {
+	if n := epA.numChannels(); n != peers {
 		t.Fatalf("registry has %d channels, want %d", n, peers)
 	}
 }

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// The outgoing registry is lock-striped: channels for different peers live
+// in different shards, so dial, send-enqueue, supervision transitions and
+// teardown for different destinations never contend on one mutex — the
+// multi-loop design Netty reaches with its EventLoopGroup, applied to the
+// per-(protocol, destination) channel table. One shard holds the channel
+// map, the UDT→TCP fallback table entries, and the redial-jitter PRNG for
+// the peers that hash into it.
+
+// sendShard is one stripe of the endpoint's outgoing registry. The mutex
+// guards every field declared after it; Close quiesces shards in index
+// order so shutdown stays deterministic.
+type sendShard struct {
+	mu       sync.Mutex //kmlint:guarded
+	channels map[chanKey]*outChannel
+	// fallbacks reroutes UDT destinations whose dial attempts were
+	// exhausted to their TCP equivalent (port un-shifted by
+	// UDTPortOffset) for the life of the endpoint. An entry lives in the
+	// shard of its UDT (proto, dest) key; the TCP channel it points at
+	// hashes independently.
+	fallbacks map[string]string
+	closed    bool
+	// rng drives redial jitter for this shard's channels; seeded from
+	// Config.BackoffSeed plus the shard index so supervision schedules
+	// replay run to run without a global PRNG lock.
+	rng *rand.Rand
+}
+
+// newSendShards builds the endpoint's stripes: N = max(8, GOMAXPROCS)
+// rounded up to a power of two, so the hash masks instead of dividing.
+func newSendShards(seed int64) []*sendShard {
+	n := shardCount(runtime.GOMAXPROCS(0))
+	shards := make([]*sendShard, n)
+	for i := range shards {
+		shards[i] = &sendShard{
+			channels:  make(map[chanKey]*outChannel),
+			fallbacks: make(map[string]string),
+			rng:       rand.New(rand.NewSource(seed + int64(i))),
+		}
+	}
+	return shards
+}
+
+// shardCount rounds max(8, procs) up to a power of two.
+func shardCount(procs int) int {
+	n := max(8, procs)
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// shardFor hashes (proto, dest) onto a stripe with FNV-1a.
+func (e *Endpoint) shardFor(proto wire.Transport, dest string) *sendShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(proto)) * prime32
+	for i := 0; i < len(dest); i++ {
+		h = (h ^ uint32(dest[i])) * prime32
+	}
+	return e.shards[h&uint32(len(e.shards)-1)]
+}
+
+// jitter draws from the shard's seeded PRNG.
+func (s *sendShard) jitter(n time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.rng.Int63n(int64(n)))
+}
+
+// numChannels counts registered outgoing channels across all shards.
+func (e *Endpoint) numChannels() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.channels)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// findChannel returns the registered channel for (proto, dest), or nil.
+func (e *Endpoint) findChannel(proto wire.Transport, dest string) *outChannel {
+	s := e.shardFor(proto, dest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.channels[chanKey{proto: proto, dest: dest}]
+}

@@ -60,9 +60,7 @@ func TestQueueOverflowFailFast(t *testing.T) {
 		}
 	}
 
-	ep.mu.Lock()
-	ch := ep.channels[chanKey{proto: wire.TCP, dest: dest}]
-	ep.mu.Unlock()
+	ch := ep.findChannel(wire.TCP, dest)
 	if ch == nil {
 		t.Fatal("supervised channel left the registry while retrying")
 	}
@@ -286,7 +284,7 @@ func TestBackoffDelayCapsAndJitters(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return newOutChannel(ep, chanKey{proto: wire.TCP, dest: "x"})
+		return newOutChannel(ep, ep.shardFor(wire.TCP, "x"), chanKey{proto: wire.TCP, dest: "x"})
 	}
 	c1, c2 := mk(), mk()
 	var prev time.Duration

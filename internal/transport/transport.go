@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
@@ -148,6 +148,11 @@ func (c Config) withDefaults() Config {
 
 // Endpoint owns this host's listeners and outgoing channels. One Endpoint
 // backs one wire.Network component.
+//
+// The outgoing registry is striped across sendShards (see shard.go): all
+// per-peer state — channel, fallback entry, backoff PRNG — lives in the
+// shard its (protocol, destination) key hashes to, so operations on
+// different peers never contend.
 type Endpoint struct {
 	cfg Config
 
@@ -155,20 +160,19 @@ type Endpoint struct {
 	udtLn   *udt.Listener
 	udpSock *net.UDPConn
 
-	mu       sync.Mutex
-	channels map[chanKey]*outChannel
-	// fallbacks reroutes UDT destinations whose dial attempts were
-	// exhausted to their TCP equivalent (port un-shifted by
-	// UDTPortOffset) for the life of the endpoint.
-	fallbacks map[string]string
-	inbound   map[net.Conn]struct{}
-	closed    bool
-	wg        sync.WaitGroup
+	// shards hold the outgoing channel registry; the slice is immutable
+	// after NewEndpoint and its length is a power of two.
+	shards []*sendShard
 
-	// rng drives redial jitter; seeded from Config.BackoffSeed so
-	// supervision schedules replay run to run.
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// closing flips exactly once; shard closed flags (set in index order
+	// by Close) are what gate the send path.
+	closing atomic.Bool
+
+	inMu     sync.Mutex //kmlint:guarded
+	inbound  map[net.Conn]struct{}
+	inClosed bool
+
+	wg sync.WaitGroup
 }
 
 type chanKey struct {
@@ -191,11 +195,9 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	}
 	cfg = cfg.withDefaults()
 	return &Endpoint{
-		cfg:       cfg,
-		channels:  make(map[chanKey]*outChannel),
-		fallbacks: make(map[string]string),
-		inbound:   make(map[net.Conn]struct{}),
-		rng:       rand.New(rand.NewSource(cfg.BackoffSeed)),
+		cfg:     cfg,
+		shards:  newSendShards(cfg.BackoffSeed),
+		inbound: make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -240,25 +242,32 @@ func (e *Endpoint) Addr(proto wire.Transport) string {
 }
 
 // Close tears down listeners and channels. Pending notifications fail with
-// ErrClosed.
+// ErrClosed. Shards quiesce in index order — every shard is marked closed
+// (no new channels, sends fail) before any channel is torn down — so
+// shutdown stays deterministic regardless of which peers were active.
 func (e *Endpoint) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closing.CompareAndSwap(false, true) {
 		return
 	}
-	e.closed = true
-	chans := make([]*outChannel, 0, len(e.channels))
-	for _, c := range e.channels {
-		chans = append(chans, c)
+	var chans []*outChannel
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.closed = true
+		for _, c := range s.channels {
+			chans = append(chans, c)
+		}
+		s.channels = map[chanKey]*outChannel{}
+		s.mu.Unlock()
 	}
-	e.channels = map[chanKey]*outChannel{}
+
+	e.inMu.Lock()
+	e.inClosed = true
 	conns := make([]net.Conn, 0, len(e.inbound))
 	for c := range e.inbound {
 		conns = append(conns, c)
 	}
 	e.inbound = map[net.Conn]struct{}{}
-	e.mu.Unlock()
+	e.inMu.Unlock()
 
 	for _, c := range conns {
 		c.Close()
@@ -303,30 +312,42 @@ func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notif
 		fail(fmt.Errorf("%w: %d bytes over %v", ErrTooLarge, len(payload), proto))
 		return
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	s := e.shardFor(proto, dest)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		fail(ErrClosed)
 		return
 	}
 	if proto == wire.UDT {
-		if tcpDest, ok := e.fallbacks[dest]; ok {
+		if tcpDest, ok := s.fallbacks[dest]; ok {
+			// The TCP replacement hashes to its own shard; drop this one
+			// and re-enter there.
+			s.mu.Unlock()
 			proto, dest = wire.TCP, tcpDest
+			s = e.shardFor(proto, dest)
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				fail(ErrClosed)
+				return
+			}
 		}
 	}
-	ch := e.channelLocked(proto, dest)
-	e.mu.Unlock()
+	ch := e.channelLocked(s, proto, dest)
+	s.mu.Unlock()
 	ch.enqueue(outMsg{payload: payload, notify: notify})
 }
 
 // channelLocked returns the out-channel for (proto, dest), creating it
-// (and its run goroutine) on first use. Caller holds e.mu.
-func (e *Endpoint) channelLocked(proto wire.Transport, dest string) *outChannel {
+// (and its run goroutine) on first use. Caller holds s.mu, the shard
+// (proto, dest) hashes to.
+func (e *Endpoint) channelLocked(s *sendShard, proto wire.Transport, dest string) *outChannel {
 	key := chanKey{proto: proto, dest: dest}
-	ch, ok := e.channels[key]
+	ch, ok := s.channels[key]
 	if !ok {
-		ch = newOutChannel(e, key)
-		e.channels[key] = ch
+		ch = newOutChannel(e, s, key)
+		s.channels[key] = ch
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
@@ -340,10 +361,8 @@ func (e *Endpoint) channelLocked(proto wire.Transport, dest string) *outChannel 
 // for (proto, dest); ok is false when no such channel exists (never
 // created, or already torn down).
 func (e *Endpoint) ChannelState(proto wire.Transport, dest string) (ChannelState, bool) {
-	e.mu.Lock()
-	ch, ok := e.channels[chanKey{proto: proto, dest: dest}]
-	e.mu.Unlock()
-	if !ok {
+	ch := e.findChannel(proto, dest)
+	if ch == nil {
 		return StateDown, false
 	}
 	ch.mu.Lock()
@@ -352,12 +371,13 @@ func (e *Endpoint) ChannelState(proto wire.Transport, dest string) (ChannelState
 }
 
 // dropChannel removes a failed channel so the next Send redials.
-func (e *Endpoint) dropChannel(key chanKey, ch *outChannel) {
-	e.mu.Lock()
-	if e.channels[key] == ch {
-		delete(e.channels, key)
+func (c *outChannel) dropChannel() {
+	s := c.shard
+	s.mu.Lock()
+	if s.channels[c.key] == c {
+		delete(s.channels, c.key)
 	}
-	e.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // --- listeners -----------------------------------------------------------------
@@ -449,18 +469,18 @@ func (e *Endpoint) startUDP() error {
 // readFrames pumps length-prefixed frames from a stream connection to the
 // message callback until the stream ends or the endpoint closes.
 func (e *Endpoint) readFrames(conn net.Conn) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	e.inMu.Lock()
+	if e.inClosed {
+		e.inMu.Unlock()
 		conn.Close()
 		return
 	}
 	e.inbound[conn] = struct{}{}
-	e.mu.Unlock()
+	e.inMu.Unlock()
 	defer func() {
-		e.mu.Lock()
+		e.inMu.Lock()
 		delete(e.inbound, conn)
-		e.mu.Unlock()
+		e.inMu.Unlock()
 		conn.Close()
 	}()
 	for {
@@ -506,8 +526,11 @@ const maxIdleQueueCap = 1024
 // as possible (Netty-style flush batching), preserving per-message notify
 // order.
 type outChannel struct {
-	ep  *Endpoint
-	key chanKey
+	ep *Endpoint
+	// shard is the registry stripe this channel's key hashes to; the
+	// channel deregisters itself there (give-up, fallback).
+	shard *sendShard
+	key   chanKey
 
 	// udpAddr caches the resolved destination for datagram sends from the
 	// shared listening socket; written once by run's dial, read only by
@@ -518,7 +541,7 @@ type outChannel struct {
 	// goroutine (under mu inside nextBatch).
 	batch []outMsg
 
-	mu     sync.Mutex
+	mu     sync.Mutex //kmlint:guarded
 	cond   *sync.Cond
 	queue  []outMsg
 	state  ChannelState
@@ -532,8 +555,8 @@ type outChannel struct {
 	redirect *outChannel
 }
 
-func newOutChannel(ep *Endpoint, key chanKey) *outChannel {
-	c := &outChannel{ep: ep, key: key, state: StateConnecting}
+func newOutChannel(ep *Endpoint, shard *sendShard, key chanKey) *outChannel {
+	c := &outChannel{ep: ep, shard: shard, key: key, state: StateConnecting}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -656,7 +679,7 @@ func (c *outChannel) run() {
 			if c.key.proto == wire.UDT && !c.ep.cfg.DisableFallback && c.ep.fallbackToTCP(c, err) {
 				return
 			}
-			c.ep.dropChannel(c.key, c)
+			c.dropChannel()
 			c.emit(StatusEvent{Kind: StatusDown, Err: err})
 			c.close(err)
 			return
@@ -760,13 +783,7 @@ func (c *outChannel) backoffDelay(attempt int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return half + c.ep.jitter(half)
-}
-
-func (e *Endpoint) jitter(n time.Duration) time.Duration {
-	e.rngMu.Lock()
-	defer e.rngMu.Unlock()
-	return time.Duration(e.rng.Int63n(int64(n)))
+	return half + c.shard.jitter(half)
 }
 
 // fallbackToTCP reroutes a UDT channel whose dial attempts are
@@ -776,22 +793,39 @@ func (e *Endpoint) jitter(n time.Duration) time.Duration {
 // been notified, so at-most-once holds — and future Sends to the UDT
 // destination follow until the endpoint restarts. Returns false when no
 // fallback is possible (endpoint closed, or unparseable destination).
+//
+// The fallback entry lives in the UDT key's shard; the TCP channel lives
+// in its own. The two shards are locked one after the other, never
+// nested, so no cross-shard lock order exists. A Send that reads the
+// fallback entry before the TCP channel exists simply creates it.
 func (e *Endpoint) fallbackToTCP(c *outChannel, dialErr error) bool {
 	tcpDest, err := OffsetPort(c.key.dest, -e.cfg.UDTPortOffset)
 	if err != nil {
 		return false
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	us := c.shard
+	us.mu.Lock()
+	if us.closed {
+		us.mu.Unlock()
 		return false
 	}
-	if e.channels[c.key] == c {
-		delete(e.channels, c.key)
+	if us.channels[c.key] == c {
+		delete(us.channels, c.key)
 	}
-	e.fallbacks[c.key.dest] = tcpDest
-	tcp := e.channelLocked(wire.TCP, tcpDest)
-	e.mu.Unlock()
+	us.fallbacks[c.key.dest] = tcpDest
+	us.mu.Unlock()
+
+	ts := e.shardFor(wire.TCP, tcpDest)
+	ts.mu.Lock()
+	if ts.closed {
+		// Endpoint shut down between the two shard sections; the caller
+		// fails the queue, which is where a closing endpoint ends up
+		// anyway.
+		ts.mu.Unlock()
+		return false
+	}
+	tcp := e.channelLocked(ts, wire.TCP, tcpDest)
+	ts.mu.Unlock()
 
 	c.setState(StateDraining)
 	c.emit(StatusEvent{Kind: StatusFallback, To: wire.TCP, ToDest: tcpDest, Err: dialErr})

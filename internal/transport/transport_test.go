@@ -170,10 +170,7 @@ func TestChannelReuse(t *testing.T) {
 		a.Send(wire.TCP, b.Addr(wire.TCP), pooled(string(rune(i))), nil)
 	}
 	waitCount(t, cb, 5)
-	a.mu.Lock()
-	nchan := len(a.channels)
-	a.mu.Unlock()
-	if nchan != 1 {
+	if nchan := a.numChannels(); nchan != 1 {
 		t.Fatalf("5 sends created %d channels, want 1", nchan)
 	}
 }
