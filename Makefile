@@ -18,11 +18,16 @@ HOTPATH_OUT  = BENCH_hotpath.out
 UDT_OUT      = BENCH_udt.out
 SHARD_PKGS   = ./internal/transport/ ./internal/core/
 SHARD_OUT    = BENCH_shard.out
+FANIN_PKGS   = ./internal/transport/ ./internal/core/
+FANIN_OUT    = BENCH_fanin.out
 
 FAULT_PKGS = ./internal/faults/ ./internal/transport/ ./internal/core/ ./internal/udt/
 FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole|Backoff|Status|StopThenRestart'
 
-.PHONY: check test test-faults build vet lint bench bench-hotpath bench-udt bench-shard
+RECV_PKGS = ./internal/transport/ ./internal/core/ ./internal/vnet/
+RECV_RUN  = 'RecvOrder|DecodeStage|VNodeFanin'
+
+.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -60,6 +65,21 @@ bench-shard:
 	$(GO) test -bench FanoutSend -run '^$$' -benchmem $(SHARD_PKGS) | tee $(SHARD_OUT)
 	$(GO) run ./cmd/benchjson -label current -out BENCH_shard.json < $(SHARD_OUT)
 	@rm -f $(SHARD_OUT)
+
+# bench-fanin reruns the fan-in scaling benchmarks (BenchmarkFaninReceive /
+# BenchmarkFaninReceiveNetwork) and refreshes the "current" section of
+# BENCH_fanin.json; the frozen "baseline" section holds the numbers from
+# before the striped inbound registry + parallel decode stage. The
+# benchmarks sweep GOMAXPROCS 1/4/NumCPU themselves.
+bench-fanin:
+	$(GO) test -bench FaninReceive -run '^$$' -benchmem $(FANIN_PKGS) | tee $(FANIN_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_fanin.json < $(FANIN_OUT)
+	@rm -f $(FANIN_OUT)
+
+# test-recv runs the receive-path property suite (per-peer inbound FIFO,
+# at-most-once delivery, zero-leak teardown) race-enabled and repeated.
+test-recv:
+	$(GO) test -race -count=3 -run $(RECV_RUN) $(RECV_PKGS)
 
 bench:
 	$(GO) test -bench . -benchmem

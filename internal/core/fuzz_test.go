@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/kompics/kompicsmessaging-go/internal/transport"
 )
 
 // TestPropertyWirePayloadNeverPanics injects arbitrary bytes through the
@@ -18,7 +20,7 @@ func TestPropertyWirePayloadNeverPanics(t *testing.T) {
 				ok = false
 			}
 		}()
-		n.onWirePayload(b)
+		n.onWirePayload(transport.From{}, b)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -83,6 +83,16 @@ type NetworkConfig struct {
 	// transport (default 256). At the bound the component thread encodes
 	// inline instead of queueing further — backpressure, not blocking.
 	CodecInflight int
+	// DecodeWorkers sizes the parallel decode stage that decompresses and
+	// decodes inbound wire payloads off the transport read goroutines
+	// (default GOMAXPROCS). Per-(protocol, peer) arrival order is
+	// preserved regardless of the worker count.
+	DecodeWorkers int
+	// DecodeInflight bounds inbound frames submitted but not yet released
+	// to the component (default 256). At the bound the submitting read
+	// goroutine decodes inline — backpressure confined to the saturating
+	// connection.
+	DecodeInflight int
 	// Transport tunes the underlying endpoint (UDT config, frame limit).
 	Transport transport.Config
 	// Logger receives diagnostics (default slog.Default()).
@@ -110,6 +120,12 @@ type Network struct {
 	// thread (created in OnStart, torn down in OnStop/OnKill, consulted in
 	// sendMsg), so it needs no lock of its own.
 	stage *codecStage
+	// dstage is the parallel decode stage. The field is touched only on
+	// the component thread (OnStart/OnStop/OnKill); the hot path never
+	// reads it — each Endpoint's OnMessage closure captures its own
+	// stage, so inbound delivery is lock-free at the Network level and a
+	// restart cannot race frames onto a stale stage.
+	dstage *decodeStage
 	// warnLimit throttles the dropping-unsendable-message warn.
 	warnLimit *warnLimiter
 }
@@ -142,6 +158,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	if cfg.CodecInflight <= 0 {
 		cfg.CodecInflight = 256
+	}
+	if cfg.DecodeWorkers <= 0 {
+		cfg.DecodeWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DecodeInflight <= 0 {
+		cfg.DecodeInflight = 256
 	}
 	if cfg.Transport.Clock == nil {
 		cfg.Transport.Clock = clock.Real{}
@@ -228,29 +250,43 @@ func (n *Network) Init(ctx *kompics.Context) {
 	})
 
 	// Endpoints are single-use: each Start builds a fresh one, so the
-	// component can be stopped and restarted (listeners re-bind).
+	// component can be stopped and restarted (listeners re-bind). The
+	// decode stage is born with its endpoint: the OnMessage closure binds
+	// inbound frames to exactly this start's stage, with no lock or
+	// indirection on the per-frame path.
 	ctx.OnStart(func() {
-		ep, err := transport.NewEndpoint(n.tcfg)
+		dst := newDecodeStage(n, n.cfg.DecodeWorkers, n.cfg.DecodeInflight)
+		tcfg := n.tcfg
+		tcfg.OnMessage = dst.submit
+		ep, err := transport.NewEndpoint(tcfg)
 		if err != nil {
 			panic(fmt.Sprintf("core: transport config: %v", err))
 		}
 		if err := ep.Start(); err != nil {
+			dst.close()
 			n.cfg.Logger.Error("core: network listeners failed", "err", err)
 			panic(err) // faults the component; supervisors see it
 		}
 		n.setEndpoint(ep)
+		n.dstage = dst
 		n.stage = newCodecStage(n, n.cfg.CodecWorkers, n.cfg.CodecInflight)
 	})
 	stop := func() {
-		// Stage first: its close waits for in-flight encodes, whose
+		// Codec stage first: its close waits for in-flight encodes, whose
 		// releases still reach the live endpoint and resolve through its
-		// notify contract; only then is the endpoint torn down.
+		// notify contract; then the endpoint (read loops drain and exit);
+		// the decode stage last, once no read loop can submit — it fails
+		// the undecoded backlog and recycles its pooled buffers.
 		if st := n.stage; st != nil {
 			n.stage = nil
 			st.close()
 		}
 		if ep := n.endpoint(); ep != nil {
 			ep.Close()
+		}
+		if dst := n.dstage; dst != nil {
+			n.dstage = nil
+			dst.close()
 		}
 	}
 	ctx.OnStop(stop)
@@ -384,9 +420,12 @@ func (n *Network) compress(raw []byte) ([]byte, bool) {
 	return out, true
 }
 
-// onWirePayload runs on transport goroutines: decode and hand the message
-// into component context.
-func (n *Network) onWirePayload(payload []byte) {
+// onWirePayload decodes one inbound frame inline and hands the message
+// into component context. It is the stage-less fallback kept for the
+// config the Init-time validation endpoint sees (and for fuzzing the
+// decode path directly); live endpoints deliver through the decode
+// stage's submit instead.
+func (n *Network) onWirePayload(_ transport.From, payload []byte) {
 	msg, err := n.decodeWire(payload)
 	if err != nil {
 		n.cfg.Logger.Warn("core: dropping inbound message", "err", err)

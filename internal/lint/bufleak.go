@@ -39,13 +39,21 @@ const bufpoolPkg = "internal/bufpool"
 // transferSinks are call targets that take ownership of a buffer argument
 // by documented contract. OnMessage is transport.Config's inbound delivery
 // callback: ownership of the payload buffer passes to the callback.
-// storeOwned is udt's ring-window insertion (pktRing.storeOwned): the ring
-// owns the payload until take/drain hands it back, and every type spelling
-// a method that way opts into the same contract. release is transport's
-// outMsg completion: it fires the notify and recycles the payload exactly
-// once — the queue-overflow rejection path releases through it.
+// deliver is the transport endpoint's inbound funnel (Endpoint.deliver):
+// both the framed and datagram read loops hand their payloads through it,
+// and it forwards ownership into OnMessage. submit is the core decode
+// stage's handoff (decodeStage.submit — itself an OnMessage callback):
+// the stage owns the payload from that call until decodeWire consumes it
+// or the close path recycles it. storeOwned is udt's ring-window insertion
+// (pktRing.storeOwned): the ring owns the payload until take/drain hands
+// it back, and every type spelling a method that way opts into the same
+// contract. release is transport's outMsg completion: it fires the notify
+// and recycles the payload exactly once — the queue-overflow rejection
+// path releases through it.
 var transferSinks = map[string]bool{
 	"OnMessage":  true,
+	"deliver":    true,
+	"submit":     true,
 	"storeOwned": true,
 	"release":    true,
 }

@@ -1,0 +1,40 @@
+// recv.go seeds receive-path leaks around the deliver/submit handoff
+// sinks: a sink call only credits the path it is on, and only when the
+// tracked buffer is actually among its arguments.
+package leak
+
+import "github.com/kompics/kompicsmessaging-go/internal/bufpool"
+
+type stageLike struct {
+	lanes map[string][][]byte
+}
+
+func (s *stageLike) submit(from string, payload []byte) {
+	s.lanes[from] = append(s.lanes[from], payload)
+}
+
+// submitConditional hands off on one arm only; the drop path leaks the
+// pooled frame.
+func submitConditional(s *stageLike, from string, frame []byte, drop bool) {
+	b := bufpool.Get(len(frame)) // want "dropped when this block ends"
+	copy(b, frame)
+	if !drop {
+		s.submit(from, b)
+	}
+}
+
+type endpointLike struct {
+	onMessage func(string, []byte)
+}
+
+func (e *endpointLike) deliver(from string, payload []byte) {
+	e.onMessage(from, payload)
+}
+
+// deliverOtherBuffer calls the sink with a different slice: the tracked
+// buffer never transfers, so it is still dropped.
+func deliverOtherBuffer(e *endpointLike, from string, other []byte) {
+	b := bufpool.Get(16) // want "dropped when this block ends"
+	b[0] = 1
+	e.deliver(from, other)
+}

@@ -1,0 +1,61 @@
+// recv.go holds the corrected inbound-registry shapes: the striped
+// connection set and per-peer death accounting accessed only inside
+// their stripe's critical section. The analyzer must stay silent.
+package clean
+
+import "sync"
+
+type conn struct{ addr string }
+
+type recvStripe struct {
+	mu     sync.Mutex //kmlint:guarded
+	conns  map[*conn]struct{}
+	deaths map[string]uint64
+}
+
+// register is the accept-path contract: closed-check and insert in one
+// critical section.
+func register(s *recvStripe, c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conns == nil {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// drop is teardown done right: membership check, removal, and the death
+// increment all under the stripe lock.
+func drop(s *recvStripe, c *conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.deaths[c.addr]++
+	}
+	s.mu.Unlock()
+}
+
+// quiesce is Close's shape: collect each stripe's connections and swap
+// the map under that stripe's lock, in index order, then work on the
+// snapshot lock-free.
+func quiesce(stripes []*recvStripe) []*conn {
+	var out []*conn
+	for _, s := range stripes {
+		s.mu.Lock()
+		for c := range s.conns {
+			out = append(out, c)
+		}
+		s.conns = map[*conn]struct{}{}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// deathsFor reads the per-peer counter under the lock and returns the
+// copy.
+func deathsFor(s *recvStripe, peer string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deaths[peer]
+}

@@ -163,7 +163,7 @@ func TestBatchNotifyOrderingLoopback(t *testing.T) {
 // TestOutChannelDrainOnClose checks that every queued message is failed
 // with the closing error, and that sends after close fail immediately.
 func TestOutChannelDrainOnClose(t *testing.T) {
-	ep, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: func([]byte) {}})
+	ep, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: func(From, []byte) {}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func newTestEndpoint(t *testing.T, proto wire.Transport) *Endpoint {
 	ep, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{proto},
-		OnMessage:  func([]byte) {},
+		OnMessage:  func(From, []byte) {},
 	})
 	if err != nil {
 		t.Fatal(err)

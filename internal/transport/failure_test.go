@@ -23,7 +23,7 @@ func newEventCollector() *eventCollector {
 	return &eventCollector{ch: make(chan []byte, 256)}
 }
 
-func (c *eventCollector) onMessage(p []byte) {
+func (c *eventCollector) onMessage(_ From, p []byte) {
 	dup := make([]byte, len(p))
 	copy(dup, p)
 	c.mu.Lock()

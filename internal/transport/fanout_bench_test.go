@@ -41,7 +41,7 @@ func benchFanoutSend(b *testing.B, peers int) {
 		recv, err := NewEndpoint(Config{
 			ListenAddr: "127.0.0.1:0",
 			Protocols:  []wire.Transport{wire.TCP},
-			OnMessage: func(payload []byte) {
+			OnMessage: func(_ From, payload []byte) {
 				bufpool.Put(payload)
 				if received.Add(1) == target {
 					select {
@@ -64,7 +64,7 @@ func benchFanoutSend(b *testing.B, peers int) {
 	send, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{wire.TCP},
-		OnMessage:  func([]byte) {},
+		OnMessage:  func(From, []byte) {},
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -32,7 +32,7 @@ func benchLoopback(b *testing.B, proto wire.Transport, size int) {
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{proto},
 		UDT:        benchUDT,
-		OnMessage: func(payload []byte) {
+		OnMessage: func(_ From, payload []byte) {
 			bufpool.Put(payload) // receiver owns the buffer; recycle it
 			if received.Add(1) == target {
 				select {
@@ -54,7 +54,7 @@ func benchLoopback(b *testing.B, proto wire.Transport, size int) {
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{proto},
 		UDT:        benchUDT,
-		OnMessage:  func([]byte) {},
+		OnMessage:  func(From, []byte) {},
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// The inbound registry is the receive-side mirror of the striped
+// outgoing registry (shard.go): connections from different peers live in
+// different shards, so accept, per-connection accounting, teardown, and
+// peer-death bookkeeping for different peers never contend on one mutex.
+// Before this existed, every accept and every connection teardown
+// serialised on a single endpoint-wide mutex — harmless at ten
+// connections, a global choke point at ten thousand.
+
+// From identifies the origin of one inbound payload: the wire protocol
+// it arrived over and the remote socket address it came from. For
+// stream transports (TCP, UDT) Peer is the remote address of the
+// inbound connection, so all payloads read from one connection carry
+// the same From; for UDP it is the datagram's source address. From is
+// the per-peer FIFO key: consumers that re-order work internally (the
+// core decode stage) must preserve arrival order per (Proto, Peer).
+type From struct {
+	Proto wire.Transport
+	Peer  string
+}
+
+// inKey mirrors chanKey for the inbound side.
+type inKey struct {
+	proto wire.Transport
+	peer  string
+}
+
+// inConn is the endpoint's state for one inbound stream connection. The
+// conn and from fields are immutable after registration; the counters
+// are atomics so the read loop never takes the shard lock per frame.
+type inConn struct {
+	conn  net.Conn
+	shard *recvShard
+	from  From
+
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// recvShard is one stripe of the endpoint's inbound registry. The mutex
+// guards every container field declared after it; Close quiesces shards
+// in index order so shutdown stays deterministic.
+type recvShard struct {
+	mu    sync.Mutex //kmlint:guarded
+	conns map[*inConn]struct{}
+	// deaths counts inbound connections per (proto, peer) that ended
+	// from the remote side or a read error — endpoint-initiated
+	// teardown (Close) is not a peer death. The count survives the
+	// connections it describes; supervision-style consumers can watch
+	// it for flapping peers.
+	deaths map[inKey]uint64
+	closed bool
+}
+
+// newRecvShards builds the inbound stripes with the same geometry as the
+// send side: N = max(8, GOMAXPROCS) rounded up to a power of two.
+func newRecvShards() []*recvShard {
+	n := shardCount(runtime.GOMAXPROCS(0))
+	shards := make([]*recvShard, n)
+	for i := range shards {
+		shards[i] = &recvShard{
+			conns:  make(map[*inConn]struct{}),
+			deaths: make(map[inKey]uint64),
+		}
+	}
+	return shards
+}
+
+// recvShardFor hashes (proto, peer) onto an inbound stripe with FNV-1a —
+// the same hash the send side uses, over the same key shape, so a
+// bidirectional peer relationship maps symmetrically.
+func (e *Endpoint) recvShardFor(proto wire.Transport, peer string) *recvShard {
+	return e.recvShards[shardIndex(proto, peer)&uint32(len(e.recvShards)-1)]
+}
+
+// registerInbound records a freshly accepted stream connection in its
+// peer's shard. ok=false means the endpoint is closing and the caller
+// must drop the connection.
+func (e *Endpoint) registerInbound(proto wire.Transport, conn net.Conn) (*inConn, bool) {
+	from := From{Proto: proto, Peer: conn.RemoteAddr().String()}
+	s := e.recvShardFor(proto, from.Peer)
+	ic := &inConn{conn: conn, shard: s, from: from}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.conns[ic] = struct{}{}
+	s.mu.Unlock()
+	return ic, true
+}
+
+// dropInbound removes a finished connection from its shard. A
+// connection still present in the shard ended on its own (remote close
+// or read error) and counts as a peer death; one already removed was
+// torn down by Close and does not.
+func (e *Endpoint) dropInbound(ic *inConn) {
+	s := ic.shard
+	s.mu.Lock()
+	if _, ok := s.conns[ic]; ok {
+		delete(s.conns, ic)
+		s.deaths[inKey{proto: ic.from.Proto, peer: ic.from.Peer}]++
+	}
+	s.mu.Unlock()
+}
+
+// closeInbound quiesces the inbound registry: every shard is marked
+// closed in index order (no further registrations) while its
+// connections are collected, and only then are the connections closed —
+// which unblocks their read loops. Run once, from Close.
+func (e *Endpoint) closeInbound() {
+	var conns []net.Conn
+	for _, s := range e.recvShards {
+		s.mu.Lock()
+		s.closed = true
+		for ic := range s.conns {
+			conns = append(conns, ic.conn)
+		}
+		s.conns = map[*inConn]struct{}{}
+		s.mu.Unlock()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// NumInbound counts registered inbound stream connections across all
+// shards.
+func (e *Endpoint) NumInbound() int {
+	n := 0
+	for _, s := range e.recvShards {
+		s.mu.Lock()
+		n += len(s.conns)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// InboundDeaths reports how many inbound connections from (proto, peer)
+// have died (remote close or read error) over the endpoint's lifetime.
+func (e *Endpoint) InboundDeaths(proto wire.Transport, peer string) uint64 {
+	s := e.recvShardFor(proto, peer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deaths[inKey{proto: proto, peer: peer}]
+}
+
+// InboundStats sums live-connection counters for (proto, peer): the
+// number of currently registered connections and the frames and bytes
+// they have delivered so far.
+func (e *Endpoint) InboundStats(proto wire.Transport, peer string) (conns int, frames, bytes uint64) {
+	s := e.recvShardFor(proto, peer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ic := range s.conns {
+		if ic.from.Proto == proto && ic.from.Peer == peer {
+			conns++
+			frames += ic.frames.Load()
+			bytes += ic.bytes.Load()
+		}
+	}
+	return conns, frames, bytes
+}

@@ -19,7 +19,7 @@ type seqCollector struct {
 	seqs []uint32
 }
 
-func (c *seqCollector) onMessage(p []byte) {
+func (c *seqCollector) onMessage(_ From, p []byte) {
 	c.mu.Lock()
 	if len(p) >= 4 {
 		c.seqs = append(c.seqs, binary.BigEndian.Uint32(p))
@@ -69,7 +69,7 @@ func TestSendOrderPropertyAcrossShards(t *testing.T) {
 	sender, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
 		Protocols:  []wire.Transport{wire.TCP},
-		OnMessage:  func(p []byte) { bufpool.Put(p) },
+		OnMessage:  func(_ From, p []byte) { bufpool.Put(p) },
 	})
 	if err != nil {
 		t.Fatal(err)

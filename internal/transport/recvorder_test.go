@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// faninCollector records, per origin (From), the sequence numbers it
+// receives in arrival order — the receive-side mirror of seqCollector.
+type faninCollector struct {
+	mu   sync.Mutex
+	seqs map[From][]uint32
+}
+
+func newFaninCollector() *faninCollector {
+	return &faninCollector{seqs: make(map[From][]uint32)}
+}
+
+func (c *faninCollector) onMessage(from From, p []byte) {
+	c.mu.Lock()
+	if len(p) >= 4 {
+		c.seqs[from] = append(c.seqs[from], binary.BigEndian.Uint32(p))
+	}
+	c.mu.Unlock()
+	bufpool.Put(p)
+}
+
+func (c *faninCollector) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.seqs {
+		n += len(s)
+	}
+	return n
+}
+
+// snapshot copies the per-origin sequence lists.
+func (c *faninCollector) snapshot() map[From][]uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[From][]uint32, len(c.seqs))
+	for k, v := range c.seqs {
+		out[k] = append([]uint32(nil), v...)
+	}
+	return out
+}
+
+// TestRecvOrderPropertyFanin is the per-peer inbound FIFO property test
+// for the striped inbound registry: N concurrent sender endpoints blast
+// randomized-size messages at ONE receiver, whose inbound connections
+// land in different shards. Every origin must observe its own sequence
+// numbers contiguously from 0 in arrival order, the registry's
+// accounting must match, and (leakCheck) no pooled buffer may leak. Run
+// under -race -count=3 in CI.
+func TestRecvOrderPropertyFanin(t *testing.T) {
+	leakCheck(t)
+	const (
+		senders = 6
+		perPeer = 200
+	)
+	col := newFaninCollector()
+	recv, err := NewEndpoint(Config{
+		ListenAddr: "127.0.0.1:0",
+		Protocols:  []wire.Transport{wire.TCP},
+		OnMessage:  col.onMessage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(recv.Close)
+	dest := recv.Addr(wire.TCP)
+
+	eps := make([]*Endpoint, senders)
+	for i := range eps {
+		ep, err := NewEndpoint(Config{
+			ListenAddr: "127.0.0.1:0",
+			Protocols:  []wire.Transport{wire.TCP},
+			OnMessage:  func(_ From, p []byte) { bufpool.Put(p) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ep.Close)
+		eps[i] = ep
+	}
+
+	// One goroutine per sender: per-origin submission order is that
+	// goroutine's program order; payload sizes are randomized so frames
+	// interleave unevenly on the wire.
+	var notified sync.WaitGroup
+	var mu sync.Mutex
+	var sendErrs []error
+	for i, ep := range eps {
+		notified.Add(perPeer)
+		go func(i int, ep *Endpoint) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			for seq := uint32(0); seq < perPeer; seq++ {
+				buf := bufpool.Get(8 + rng.Intn(256))
+				binary.BigEndian.PutUint32(buf, seq)
+				binary.BigEndian.PutUint32(buf[4:], uint32(i))
+				s := seq
+				ep.Send(wire.TCP, dest, buf, func(err error) {
+					if err != nil {
+						mu.Lock()
+						sendErrs = append(sendErrs, fmt.Errorf("sender %d seq %d: %w", i, s, err))
+						mu.Unlock()
+					}
+					notified.Done()
+				})
+			}
+		}(i, ep)
+	}
+	notified.Wait()
+	mu.Lock()
+	if len(sendErrs) > 0 {
+		t.Fatalf("%d sends failed, first: %v", len(sendErrs), sendErrs[0])
+	}
+	mu.Unlock()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && col.total() < senders*perPeer {
+		time.Sleep(2 * time.Millisecond)
+	}
+	got := col.snapshot()
+	if len(got) != senders {
+		t.Fatalf("received from %d origins, want %d", len(got), senders)
+	}
+	totalFrames := uint64(0)
+	for from, seqs := range got {
+		if from.Proto != wire.TCP {
+			t.Fatalf("origin %v: unexpected protocol", from)
+		}
+		if len(seqs) != perPeer {
+			t.Fatalf("origin %v delivered %d of %d messages", from, len(seqs), perPeer)
+		}
+		for j, s := range seqs {
+			if s != uint32(j) {
+				t.Fatalf("origin %v position %d: got seq %d, want %d — per-peer inbound FIFO violated", from, j, s, j)
+			}
+		}
+		// Registry accounting: one live connection per origin, every
+		// frame counted, no deaths while the peer is alive.
+		conns, frames, bytes := recv.InboundStats(from.Proto, from.Peer)
+		if conns != 1 || frames != perPeer || bytes == 0 {
+			t.Fatalf("origin %v stats: conns=%d frames=%d bytes=%d, want 1/%d/>0", from, conns, frames, bytes, perPeer)
+		}
+		if d := recv.InboundDeaths(from.Proto, from.Peer); d != 0 {
+			t.Fatalf("origin %v: %d premature deaths", from, d)
+		}
+		totalFrames += frames
+	}
+	if totalFrames != senders*perPeer {
+		t.Fatalf("registry counted %d frames, want %d", totalFrames, senders*perPeer)
+	}
+	if n := recv.NumInbound(); n != senders {
+		t.Fatalf("NumInbound = %d, want %d", n, senders)
+	}
+
+	// Closing one sender is a remote close from the receiver's point of
+	// view: its connection deregisters and counts as a peer death.
+	eps[0].Close()
+	waitForCond(t, "peer death accounted", func() bool { return recv.NumInbound() == senders-1 })
+	deaths := uint64(0)
+	for from := range got {
+		deaths += recv.InboundDeaths(from.Proto, from.Peer)
+	}
+	if deaths != 1 {
+		t.Fatalf("recorded %d inbound deaths after one sender closed, want 1", deaths)
+	}
+}
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRecvOrderTeardownNoLeak closes the receiver in the middle of a
+// concurrent fan-in: whatever prefix of each origin's stream was
+// delivered must still be in order, every send must resolve its notify
+// exactly once (success or error), and — the leakCheck teardown — no
+// pooled buffer may be left outstanding after both sides close. This is
+// the zero-leak half of the inbound-registry property suite.
+func TestRecvOrderTeardownNoLeak(t *testing.T) {
+	leakCheck(t)
+	const (
+		senders = 4
+		perPeer = 300
+	)
+	fastFail := Config{
+		ListenAddr:       "127.0.0.1:0",
+		Protocols:        []wire.Transport{wire.TCP},
+		MaxDialAttempts:  1,
+		DialTimeout:      500 * time.Millisecond,
+		RedialBackoff:    time.Millisecond,
+		RedialBackoffMax: 5 * time.Millisecond,
+	}
+	col := newFaninCollector()
+	rcfg := fastFail
+	rcfg.OnMessage = col.onMessage
+	recv, err := NewEndpoint(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(recv.Close)
+	dest := recv.Addr(wire.TCP)
+
+	eps := make([]*Endpoint, senders)
+	for i := range eps {
+		scfg := fastFail
+		scfg.OnMessage = func(_ From, p []byte) { bufpool.Put(p) }
+		ep, err := NewEndpoint(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ep.Close)
+		eps[i] = ep
+	}
+
+	var notified sync.WaitGroup
+	for i, ep := range eps {
+		notified.Add(perPeer)
+		go func(i int, ep *Endpoint) {
+			for seq := uint32(0); seq < perPeer; seq++ {
+				buf := bufpool.Get(8)
+				binary.BigEndian.PutUint32(buf, seq)
+				binary.BigEndian.PutUint32(buf[4:], uint32(i))
+				ep.Send(wire.TCP, dest, buf, func(error) { notified.Done() })
+			}
+		}(i, ep)
+	}
+
+	// Cut the receiver once the fan-in is demonstrably flowing.
+	waitForCond(t, "mid-stream traffic", func() bool { return col.total() >= senders*perPeer/4 })
+	recv.Close()
+	if n := recv.NumInbound(); n != 0 {
+		t.Fatalf("NumInbound = %d after Close, want 0", n)
+	}
+
+	// Exactly-once: every send resolves, delivered or failed, or this
+	// hangs and the test times out.
+	notified.Wait()
+	for from, seqs := range col.snapshot() {
+		for j, s := range seqs {
+			if s != uint32(j) {
+				t.Fatalf("origin %v position %d: got seq %d, want %d — delivered prefix out of order", from, j, s, j)
+			}
+		}
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+}

@@ -276,7 +276,7 @@ func TestBackoffDelayCapsAndJitters(t *testing.T) {
 	mk := func() *outChannel {
 		ep, err := NewEndpoint(Config{
 			ListenAddr:       "127.0.0.1:0",
-			OnMessage:        func(p []byte) {},
+			OnMessage:        func(From, []byte) {},
 			RedialBackoff:    100 * time.Millisecond,
 			RedialBackoffMax: 800 * time.Millisecond,
 			BackoffSeed:      42,

@@ -15,6 +15,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/netip"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -98,13 +99,24 @@ type Config struct {
 	// endpoint locks; implementations must be goroutine-safe and fast.
 	OnStatus func(StatusEvent)
 	// OnMessage receives every inbound payload; required before Start.
-	// Called from transport goroutines — implementations must be
-	// goroutine-safe and non-blocking. Ownership of the payload buffer
-	// (drawn from bufpool) passes to the callback: once done with the
-	// bytes it should return them with bufpool.Put, and it must not
-	// assume the slice stays valid after Put. Dropping the buffer is
-	// safe but costs a future allocation.
-	OnMessage func(payload []byte)
+	// Both the framed (TCP/UDT) and datagram (UDP) paths funnel through
+	// the endpoint's deliver helper into this callback, under one
+	// contract:
+	//
+	//   - It is called from transport goroutines (one read loop per
+	//     stream connection, one for the UDP socket); implementations
+	//     must be goroutine-safe. A slow callback applies backpressure
+	//     to its own connection only — frames from other peers arrive on
+	//     other goroutines.
+	//   - Ownership of the payload buffer (drawn from bufpool) passes to
+	//     the callback at the call: once done with the bytes it must
+	//     return them with bufpool.Put exactly once, and it must not
+	//     touch the slice after Put. Dropping the buffer is memory-safe
+	//     but costs a future allocation.
+	//   - from identifies the origin; payloads sharing a From arrive in
+	//     wire order, and consumers that process messages concurrently
+	//     must preserve that per-(Proto, Peer) FIFO themselves.
+	OnMessage func(from From, payload []byte)
 	// Logger receives connection-level diagnostics (default slog.Default).
 	Logger *slog.Logger
 }
@@ -152,7 +164,9 @@ func (c Config) withDefaults() Config {
 // The outgoing registry is striped across sendShards (see shard.go): all
 // per-peer state — channel, fallback entry, backoff PRNG — lives in the
 // shard its (protocol, destination) key hashes to, so operations on
-// different peers never contend.
+// different peers never contend. The inbound registry is striped the
+// same way across recvShards (see inshard.go), so accept, per-connection
+// accounting, and teardown scale with the connection count.
 type Endpoint struct {
 	cfg Config
 
@@ -164,13 +178,13 @@ type Endpoint struct {
 	// after NewEndpoint and its length is a power of two.
 	shards []*sendShard
 
+	// recvShards hold the inbound connection registry (inshard.go);
+	// immutable after NewEndpoint, power-of-two length.
+	recvShards []*recvShard
+
 	// closing flips exactly once; shard closed flags (set in index order
 	// by Close) are what gate the send path.
 	closing atomic.Bool
-
-	inMu     sync.Mutex //kmlint:guarded
-	inbound  map[net.Conn]struct{}
-	inClosed bool
 
 	wg sync.WaitGroup
 }
@@ -195,9 +209,9 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	}
 	cfg = cfg.withDefaults()
 	return &Endpoint{
-		cfg:     cfg,
-		shards:  newSendShards(cfg.BackoffSeed),
-		inbound: make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		shards:     newSendShards(cfg.BackoffSeed),
+		recvShards: newRecvShards(),
 	}, nil
 }
 
@@ -242,9 +256,11 @@ func (e *Endpoint) Addr(proto wire.Transport) string {
 }
 
 // Close tears down listeners and channels. Pending notifications fail with
-// ErrClosed. Shards quiesce in index order — every shard is marked closed
-// (no new channels, sends fail) before any channel is torn down — so
-// shutdown stays deterministic regardless of which peers were active.
+// ErrClosed. Both registries quiesce shard by shard in index order — every
+// outgoing shard is marked closed (no new channels, sends fail) before any
+// channel is torn down, then every inbound shard likewise before its
+// connections are closed — so shutdown stays deterministic regardless of
+// which peers were active.
 func (e *Endpoint) Close() {
 	if !e.closing.CompareAndSwap(false, true) {
 		return
@@ -260,18 +276,7 @@ func (e *Endpoint) Close() {
 		s.mu.Unlock()
 	}
 
-	e.inMu.Lock()
-	e.inClosed = true
-	conns := make([]net.Conn, 0, len(e.inbound))
-	for c := range e.inbound {
-		conns = append(conns, c)
-	}
-	e.inbound = map[net.Conn]struct{}{}
-	e.inMu.Unlock()
-
-	for _, c := range conns {
-		c.Close()
-	}
+	e.closeInbound()
 
 	if e.tcpLn != nil {
 		e.tcpLn.Close()
@@ -399,7 +404,7 @@ func (e *Endpoint) startTCP() error {
 			e.wg.Add(1)
 			go func() {
 				defer e.wg.Done()
-				e.readFrames(conn)
+				e.readFrames(wire.TCP, conn)
 			}()
 		}
 	}()
@@ -427,7 +432,7 @@ func (e *Endpoint) startUDT() error {
 			e.wg.Add(1)
 			go func() {
 				defer e.wg.Done()
-				e.readFrames(conn)
+				e.readFrames(wire.UDT, conn)
 			}()
 		}
 	}()
@@ -448,48 +453,75 @@ func (e *Endpoint) startUDP() error {
 	go func() {
 		defer e.wg.Done()
 		buf := make([]byte, maxUDPPayload+1)
+		// peers caches the source-address string per sender so the hot
+		// loop does not re-format (and re-allocate) it per datagram.
+		// Owned by this goroutine only; no lock.
+		peers := make(map[netip.AddrPort]string)
 		for {
-			n, _, err := sock.ReadFromUDP(buf)
+			n, src, err := sock.ReadFromUDPAddrPort(buf)
 			if err != nil {
 				return
 			}
 			if n == 0 || n > maxUDPPayload {
 				continue
 			}
+			peer, ok := peers[src]
+			if !ok {
+				peer = src.String()
+				if len(peers) >= maxUDPPeerCache {
+					peers = make(map[netip.AddrPort]string)
+				}
+				peers[src] = peer
+			}
 			// Hand a pooled copy up; the consumer owns it (and returns
 			// it to bufpool) while this goroutine reuses buf.
 			payload := bufpool.Get(n)
 			copy(payload, buf[:n])
-			e.cfg.OnMessage(payload)
+			e.deliver(From{Proto: wire.UDP, Peer: peer}, payload)
 		}
 	}()
 	return nil
 }
 
-// readFrames pumps length-prefixed frames from a stream connection to the
-// message callback until the stream ends or the endpoint closes.
-func (e *Endpoint) readFrames(conn net.Conn) {
-	e.inMu.Lock()
-	if e.inClosed {
-		e.inMu.Unlock()
+// maxUDPPeerCache bounds the UDP read loop's source-address string cache;
+// past it the cache resets, trading one formatting allocation per sender
+// for a bounded footprint under address churn.
+const maxUDPPeerCache = 1 << 14
+
+// deliver hands one inbound payload to the configured message callback —
+// the single funnel for both the framed (readFrames) and the datagram
+// (UDP read loop) paths. Ownership of the pooled payload buffer passes
+// to cfg.OnMessage at this call, per the contract documented on
+// Config.OnMessage; the transport never touches the slice again.
+func (e *Endpoint) deliver(from From, payload []byte) {
+	e.cfg.OnMessage(from, payload)
+}
+
+// readFrames pumps length-prefixed frames from an inbound stream
+// connection to the message callback until the stream ends or the
+// endpoint closes. The connection lives in its peer's stripe of the
+// inbound registry for its whole life, so registration, per-frame
+// accounting, and teardown of connections from different peers never
+// contend.
+func (e *Endpoint) readFrames(proto wire.Transport, conn net.Conn) {
+	ic, ok := e.registerInbound(proto, conn)
+	if !ok {
 		conn.Close()
 		return
 	}
-	e.inbound[conn] = struct{}{}
-	e.inMu.Unlock()
 	defer func() {
-		e.inMu.Lock()
-		delete(e.inbound, conn)
-		e.inMu.Unlock()
+		e.dropInbound(ic)
 		conn.Close()
 	}()
 	for {
-		// ReadFrame fills a pooled buffer; ownership passes to OnMessage.
+		// ReadFrame fills a pooled buffer; ownership passes to deliver.
 		payload, err := codec.ReadFrame(conn, e.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
-		e.cfg.OnMessage(payload)
+		ic.frames.Add(1)
+		ic.bytes.Add(uint64(len(payload)))
+		e.deliver(ic.from, payload)
 	}
 }
 

@@ -18,7 +18,7 @@ type collector struct {
 	msgs [][]byte
 }
 
-func (c *collector) onMessage(p []byte) {
+func (c *collector) onMessage(_ From, p []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dup := make([]byte, len(p))
@@ -107,12 +107,12 @@ func TestNewEndpointValidation(t *testing.T) {
 	if _, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0"}); err == nil {
 		t.Fatal("missing OnMessage accepted")
 	}
-	if _, err := NewEndpoint(Config{OnMessage: func([]byte) {}}); err == nil {
+	if _, err := NewEndpoint(Config{OnMessage: func(From, []byte) {}}); err == nil {
 		t.Fatal("missing ListenAddr accepted")
 	}
 	_, err := NewEndpoint(Config{
 		ListenAddr: "127.0.0.1:0",
-		OnMessage:  func([]byte) {},
+		OnMessage:  func(From, []byte) {},
 		Protocols:  []wire.Transport{wire.DATA},
 	})
 	if !errors.Is(err, ErrUnsupported) {
