@@ -4,7 +4,7 @@
 #   make test           plain test run (tier-1 verify)
 #   make test-faults    fault-injection and supervision suite, race-enabled
 #                       and repeated to shake out nondeterminism
-#   make lint           kmlint static analyzer suite only
+#   make lint           kmlint static analyzer suite (with -audit-ignores)
 #   make bench-hotpath  rerun the wire hot-path benchmarks and refresh the
 #                       "current" section of BENCH_hotpath.json
 #   make bench-udt      rerun the UDT data-path benchmarks and refresh the
@@ -30,7 +30,7 @@ RECV_RUN  = 'RecvOrder|DecodeStage|VNodeFanin'
 .PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin
 
 check:
-	$(GO) vet ./... && $(GO) run ./cmd/kmlint ./... && $(GO) build ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) run ./cmd/kmlint -audit-ignores ./... && $(GO) build ./... && $(GO) test -race ./...
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -44,8 +44,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the full analyzer suite with stale-suppression auditing: an
+# //kmlint:ignore directive that no longer suppresses anything fails the
+# run with its audited reason printed.
 lint:
-	$(GO) run ./cmd/kmlint ./...
+	$(GO) run ./cmd/kmlint -audit-ignores ./...
 
 bench-hotpath:
 	$(GO) test -bench WirePath -run '^$$' -benchmem $(HOTPATH_PKGS) | tee $(HOTPATH_OUT)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,24 @@ import (
 	"github.com/kompics/kompicsmessaging-go/internal/lint"
 )
 
+// jsonDiag is the -json wire form: one object per line, CI-annotation
+// friendly. Suppressed findings appear with suppressed=true and the
+// covering directive in ignored_by.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	IgnoredBy  string `json:"ignored_by,omitempty"`
+}
+
 func main() {
 	checkFlag := flag.String("check", "", "run only this comma-separated subset of checks (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	jsonFlag := flag.Bool("json", false, "emit one JSON diagnostic per line (including suppressed findings with their covering directive)")
+	auditFlag := flag.Bool("audit-ignores", false, "report kmlint:ignore directives that no longer suppress anything (full suite only)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: kmlint [flags] [packages]\n\npackages use go-style patterns (default ./...)\n\nflags:\n")
 		flag.PrintDefaults()
@@ -38,8 +54,13 @@ func main() {
 	}
 
 	analyzers := lint.Analyzers()
-	reportUnused := true
 	if *checkFlag != "" {
+		// With a partial suite, ignores for the skipped checks would all
+		// look stale; unused auditing needs the full run.
+		if *auditFlag {
+			fmt.Fprintln(os.Stderr, "kmlint: -audit-ignores requires the full suite; drop -check")
+			os.Exit(2)
+		}
 		analyzers = analyzers[:0:0]
 		for _, name := range strings.Split(*checkFlag, ",") {
 			a := lint.AnalyzerByName(strings.TrimSpace(name))
@@ -49,9 +70,6 @@ func main() {
 			}
 			analyzers = append(analyzers, a)
 		}
-		// With a partial suite, ignores for the skipped checks would all
-		// look stale; don't report them.
-		reportUnused = false
 	}
 
 	patterns := flag.Args()
@@ -73,23 +91,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(loader, dirs, analyzers, reportUnused)
+	diags, err := lint.Run(loader, dirs, analyzers, lint.RunOptions{
+		ReportUnused:   *auditFlag,
+		KeepSuppressed: *jsonFlag,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
 		os.Exit(2)
 	}
 
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	relTo := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
 			}
+		}
+		return name
+	}
+	enc := json.NewEncoder(os.Stdout)
+	findings := 0
+	for _, d := range diags {
+		d.Pos.Filename = relTo(d.Pos.Filename)
+		if cwd != "" {
+			d.IgnoredBy = strings.TrimPrefix(d.IgnoredBy, cwd+string(filepath.Separator))
+		}
+		if !d.Suppressed {
+			findings++
+		}
+		if *jsonFlag {
+			if err := enc.Encode(jsonDiag{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Check:      d.Check,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				IgnoredBy:  d.IgnoredBy,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "kmlint: %v\n", err)
+				os.Exit(2)
+			}
+			continue
 		}
 		fmt.Println(d.String())
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "kmlint: %d finding(s)\n", len(diags))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "kmlint: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
 }

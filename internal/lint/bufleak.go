@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // BufLeak enforces the pooled-buffer ownership contract from DESIGN.md
@@ -36,27 +37,17 @@ var BufLeak = &Analyzer{
 
 const bufpoolPkg = "internal/bufpool"
 
-// transferSinks are call targets that take ownership of a buffer argument
-// by documented contract. OnMessage is transport.Config's inbound delivery
-// callback: ownership of the payload buffer passes to the callback.
-// deliver is the transport endpoint's inbound funnel (Endpoint.deliver):
-// both the framed and datagram read loops hand their payloads through it,
-// and it forwards ownership into OnMessage. submit is the core decode
-// stage's handoff (decodeStage.submit — itself an OnMessage callback):
-// the stage owns the payload from that call until decodeWire consumes it
-// or the close path recycles it. storeOwned is udt's ring-window insertion
-// (pktRing.storeOwned): the ring owns the payload until take/drain hands
-// it back, and every type spelling a method that way opts into the same
-// contract. release is transport's outMsg completion: it fires the notify
-// and recycles the payload exactly once — the queue-overflow rejection
-// path releases through it.
-var transferSinks = map[string]bool{
-	"OnMessage":  true,
-	"deliver":    true,
-	"submit":     true,
-	"storeOwned": true,
-	"release":    true,
-}
+// Transfer sinks are inferred, not listed. Until PR 7 this file carried a
+// hand-maintained name table (OnMessage/deliver/submit/storeOwned/release)
+// of call targets that take ownership of a buffer argument; the facts
+// layer (facts.go) now derives the same property from the callee's own
+// body — a parameter is a transfer sink when its value provably reaches
+// bufpool.Put, a store, a channel, or another inferred sink — and exports
+// it across packages, so Endpoint.deliver, decodeStage.submit,
+// pktRing.storeOwned, outMsg.release and Endpoint.Send all classify
+// themselves. The one name that survives is OnMessage: transport.Config's
+// function-field callback whose handoff is documented API, with no body
+// behind the field for inference to read.
 
 func runBufLeak(pass *Pass) {
 	for _, file := range pass.Files {
@@ -490,45 +481,54 @@ func (lk *leakScan) stmtReleases(s ast.Stmt) bool {
 	return released
 }
 
-// callReleases reports whether one call takes ownership of the buffer.
+// callReleases reports whether one call takes ownership of the buffer:
+// bufpool recycling, an inferred transfer parameter, an inferred
+// receiver-position sink (newOutMsg(v).release(err) recycles the buffer
+// the value was built around even though v is not among the arguments),
+// or the documented OnMessage function-field contract.
 func (lk *leakScan) callReleases(call *ast.CallExpr) bool {
-	argUses := false
-	for _, arg := range call.Args {
+	var argUses []int
+	for i, arg := range call.Args {
 		if lk.usesNode(arg) {
-			argUses = true
+			argUses = append(argUses, i)
 		}
 	}
-	if !argUses {
-		// Receiver-position sinks: newOutMsg(v).release(err) recycles the
-		// buffer the value was built around even though v is not among the
-		// call's arguments.
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
-			transferSinks[sel.Sel.Name] && lk.usesNode(sel.X) {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if fn := lk.pass.calleeFunc(call); fn != nil {
+		if len(argUses) > 0 &&
+			(funcIs(fn, bufpoolPkg, "Put") || funcIs(fn, bufpoolPkg, "PutBuffer")) {
 			return true
 		}
+		ft := lk.pass.Facts.Summary(fn)
+		if ft == nil {
+			return false // external or unsummarized code borrows
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		for _, i := range argUses {
+			pi := i
+			if sig != nil && sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi < len(ft.TransferParams) && ft.TransferParams[pi] {
+				return true
+			}
+		}
+		return ft.RecvTransfer && sel != nil && lk.usesNode(sel.X)
+	}
+	if len(argUses) == 0 {
 		return false
 	}
-	if fn := lk.pass.calleeFunc(call); fn != nil {
-		if funcIs(fn, bufpoolPkg, "Put") || funcIs(fn, bufpoolPkg, "PutBuffer") {
-			return true
-		}
-		// Endpoint.Send documents that it owns the payload from the call
-		// on: it either frames it onto the wire and recycles it or hands
-		// it to the send queue's completion path.
-		if methodIs(fn, "internal/transport", "Endpoint", "Send") {
-			return true
-		}
-		return transferSinks[fn.Name()]
-	}
-	// Callee is a function value; only the documented sink names transfer
-	// ownership (transport.Config.OnMessage is a func field).
+	// Callee is a function value; only the documented OnMessage contract
+	// transfers ownership (transport.Config.OnMessage is a func field —
+	// fixtures and core bind it under both spellings).
+	name := ""
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		return transferSinks[fun.Sel.Name]
+		name = fun.Sel.Name
 	case *ast.Ident:
-		return transferSinks[fun.Name]
+		name = fun.Name
 	}
-	return false
+	return strings.EqualFold(name, "onmessage")
 }
 
 // usesNode reports whether any identifier under n resolves to the tracked

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLife enforces the goroutine-lifecycle contract: every `go`
+// statement in non-test code must be tied to a shutdown path, or the
+// goroutine outlives Stop() — the leak class a soak run multiplies by
+// hours. A goroutine counts as tied when its body (or, through the facts
+// store, any function it runs) does one of:
+//
+//   - signal a sync.WaitGroup.Done — the Add/Done pairs every transport
+//     read loop and the WorkPool workers use, which Close/Stop waits on;
+//   - receive from a channel — a quit-channel select (`case <-c.done:`),
+//     a bare `<-done`, or a range over a channel that closing drains.
+//
+// Receiving from *any* channel is accepted deliberately: distinguishing
+// quit channels from data channels statically is guesswork, and a
+// goroutine blocked on a channel its owner closes has a shutdown path by
+// construction. What the check hunts is the fire-and-forget loop — a
+// read or retry loop with no signal in and no Done out — which is
+// exactly the shape of leaks that survive until process exit. A
+// goroutine that provably terminates on its own but touches no channel
+// and no WaitGroup still needs a //kmlint:ignore gorolife audit: short
+// lifetime is a claim the analyzer cannot check.
+var GoroLife = &Analyzer{
+	Name: "gorolife",
+	Doc:  "every go statement must tie to a shutdown path: a WaitGroup.Done, a worker-pool exit, or a quit-channel receive",
+	Run:  runGoroLife,
+}
+
+func runGoroLife(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goCovered(pass, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no shutdown path: no WaitGroup.Done, no channel receive, and no summarized callee providing either; it leaks at Stop()")
+			}
+			return true
+		})
+	}
+}
+
+// goCovered reports whether the spawned call ties to a shutdown path.
+func goCovered(pass *Pass, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return litCovered(pass, lit.Body)
+	}
+	ft := pass.Facts.Summary(pass.calleeFunc(call))
+	return ft != nil && (ft.WGDone || ft.QuitRecv)
+}
+
+// litCovered scans a go'd literal's own body (nested literals spawn or
+// run under their own statements) for a Done call, a channel receive in
+// any form, or a call into a summarized function providing one.
+func litCovered(pass *Pass, body *ast.BlockStmt) bool {
+	covered := false
+	goTargets := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if covered {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// An inner spawn's shutdown path belongs to the inner
+			// goroutine; it is checked at its own go statement.
+			goTargets[t.Call] = true
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				covered = true
+			}
+		case *ast.RangeStmt:
+			if typ := pass.Info.TypeOf(t.X); typ != nil {
+				if _, ok := typ.Underlying().(*types.Chan); ok {
+					covered = true
+				}
+			}
+		case *ast.CallExpr:
+			if goTargets[t] {
+				return true
+			}
+			fn := pass.calleeFunc(t)
+			if methodIs(fn, "sync", "WaitGroup", "Done") {
+				covered = true
+				return false
+			}
+			if ft := pass.Facts.Summary(fn); ft != nil && (ft.WGDone || ft.QuitRecv) {
+				covered = true
+				return false
+			}
+		}
+		return true
+	})
+	return covered
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestGoroLifeBadFixtures(t *testing.T) {
+	runFixture(t, "testdata/gorolife/bad", []*Analyzer{GoroLife}, false)
+}
+
+func TestGoroLifeCleanFixtures(t *testing.T) {
+	runFixture(t, "testdata/gorolife/clean", []*Analyzer{GoroLife}, false)
+}

@@ -122,7 +122,7 @@ func runFixture(t *testing.T, dir string, analyzers []*Analyzer, reportUnused bo
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(loader, []string{abs}, analyzers, reportUnused)
+	diags, err := Run(loader, []string{abs}, analyzers, RunOptions{ReportUnused: reportUnused})
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -64,6 +65,10 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
 // required — "// kmlint:" is prose, matching the compiler's treatment of
 // //go: directives.
 func parseDirective(text string) *directive {
+	// Comments in CRLF files can carry the \r; a directive on the last
+	// line of a file without a trailing newline does not. Strip it so the
+	// reason (and a reasonless directive's emptiness) parse identically.
+	text = strings.TrimRight(text, "\r")
 	var rest string
 	var fileWide bool
 	switch {
@@ -93,21 +98,31 @@ func parseDirective(text string) *directive {
 func quoteCheck(s string) string { return `"` + s + `"` }
 
 // applySuppressions drops diagnostics covered by a directive, marking the
-// directives that did the covering.
-func applySuppressions(diags []Diagnostic, directives []*directive) []Diagnostic {
+// directives that did the covering. With keepSuppressed, covered findings
+// stay in the result marked Suppressed with the directive recorded in
+// IgnoredBy — the -json audit trail.
+func applySuppressions(diags []Diagnostic, directives []*directive, keepSuppressed bool) []Diagnostic {
 	var kept []Diagnostic
 	for _, diag := range diags {
-		suppressed := false
+		var by *directive
 		for _, d := range directives {
 			if d.malformed != "" || d.check != diag.Check || d.pos.Filename != diag.Pos.Filename {
 				continue
 			}
 			if d.fileWide || d.pos.Line == diag.Pos.Line || d.pos.Line+1 == diag.Pos.Line {
 				d.used = true
-				suppressed = true
+				if by == nil {
+					by = d
+				}
 			}
 		}
-		if !suppressed {
+		if by == nil {
+			kept = append(kept, diag)
+			continue
+		}
+		if keepSuppressed {
+			diag.Suppressed = true
+			diag.IgnoredBy = fmt.Sprintf("%s:%d (%s)", by.pos.Filename, by.pos.Line, by.reason)
 			kept = append(kept, diag)
 		}
 	}
@@ -126,7 +141,7 @@ func directiveProblems(directives []*directive, reportUnused bool) []Diagnostic 
 			out = append(out, Diagnostic{
 				Pos:     d.pos,
 				Check:   "kmlint",
-				Message: "unused kmlint:ignore " + d.check + " directive (stale suppression?)",
+				Message: "unused kmlint:ignore " + d.check + " directive (stale suppression?); audited reason was: " + d.reason,
 			})
 		}
 	}

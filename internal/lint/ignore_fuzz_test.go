@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective hammers the directive parser with arbitrary comment
+// text and checks the invariants the suppression machinery depends on:
+// directive-prefixed text always parses (possibly as malformed), a
+// well-formed result always names a real check and carries a reason, and
+// trailing carriage returns — CRLF files, or their absence on a
+// directive sitting on the last line of a file with no final newline —
+// never change the outcome.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"// ordinary comment",
+		"// kmlint:ignore bufleak prose not a directive",
+		"//kmlint:ignore bufleak audited because reasons",
+		"//kmlint:ignore-file simdet drives real sockets on purpose",
+		"//kmlint:ignore",
+		"//kmlint:ignore-file",
+		"//kmlint:ignore bufleak",
+		"//kmlint:ignore nosuchcheck with a reason",
+		"//kmlint:ignore bufleak reason with trailing CR\r",
+		"//kmlint:ignore-file simdet CRLF file\r\r",
+		"//kmlint:ignoreXbufleak smashed separator",
+		"//kmlint:ignore  bufleak   double spaced reason",
+		"//kmlint:ignore gorolife last line without trailing newline",
+		"//kmlint:ignore buf\rleak interior CR stays",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d := parseDirective(text)
+		trimmed := strings.TrimRight(text, "\r")
+
+		// Trailing CRs are presentation, not content.
+		dt := parseDirective(trimmed)
+		if (d == nil) != (dt == nil) {
+			t.Fatalf("CR-sensitive parse: %q -> %v, %q -> %v", text, d, trimmed, dt)
+		}
+		if d != nil && *d != *dt {
+			t.Fatalf("CR-sensitive parse: %q -> %+v, %q -> %+v", text, *d, trimmed, *dt)
+		}
+
+		if d == nil {
+			// Nil means "not a directive at all"; anything carrying the
+			// exact prefix must instead come back malformed, or a typo'd
+			// suppression would be silently skipped.
+			if strings.HasPrefix(trimmed, linePrefix) || strings.HasPrefix(trimmed, filePrefix) ||
+				trimmed == strings.TrimSuffix(linePrefix, " ") ||
+				trimmed == strings.TrimSuffix(filePrefix, " ") {
+				t.Fatalf("parseDirective(%q) = nil for directive-prefixed text", text)
+			}
+			return
+		}
+		if d.malformed == "" {
+			if AnalyzerByName(d.check) == nil {
+				t.Fatalf("well-formed directive %q names unknown check %q", text, d.check)
+			}
+			if d.reason == "" {
+				t.Fatalf("well-formed directive %q has no reason", text)
+			}
+		}
+		if d.reason != strings.TrimSpace(d.reason) {
+			t.Fatalf("reason %q not trimmed (from %q)", d.reason, text)
+		}
+	})
+}

@@ -25,6 +25,10 @@ func TestParseDirective(t *testing.T) {
 		{text: "// kmlint:ignore bufleak looks like a directive but is prose", nil_: true},
 		{text: "//kmlint:ignore bufleak audited because reasons", check: "bufleak"},
 		{text: "//kmlint:ignore-file simdet drives real sockets on purpose", check: "simdet", fileWide: true},
+		// CRLF files hand the parser comments with a trailing \r; a
+		// directive on the last unterminated line comes without one.
+		{text: "//kmlint:ignore bufleak trailing CR is presentation\r", check: "bufleak"},
+		{text: "//kmlint:ignore bufleak\r", malformed: "needs a reason"},
 		{text: "//kmlint:ignore", malformed: "needs a check name"},
 		{text: "//kmlint:ignore bufleak", malformed: "needs a reason"},
 		{text: "//kmlint:ignore nosuchcheck with a reason", malformed: "unknown check"},

@@ -51,6 +51,11 @@ type Pass struct {
 	// PkgPath is the package's import path (or a testdata-relative
 	// pseudo-path for fixtures).
 	PkgPath string
+	// Facts holds the module-wide interprocedural summaries (facts.go),
+	// computed once per Run over every loaded package and its
+	// module-internal dependencies. May be nil under RunPackage without
+	// facts; Facts accessors are nil-safe.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -60,6 +65,12 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Suppressed marks a finding covered by a kmlint:ignore directive;
+	// such findings are dropped unless RunOptions.KeepSuppressed asks for
+	// them (the -json driver mode reports them annotated instead).
+	Suppressed bool
+	// IgnoredBy identifies the suppressing directive: "file:line (reason)".
+	IgnoredBy string
 }
 
 // String formats the diagnostic in the driver's file:line: [check] message
@@ -79,7 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers returns the full kmlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{BufLeak, SimDet, HandlerBlock, LockSend, ShardLock}
+	return []*Analyzer{BufLeak, SimDet, HandlerBlock, LockSend, ShardLock, LockOrder, GoroLife}
 }
 
 // AnalyzerByName resolves a check name, for the driver's -check flag and
@@ -93,9 +104,10 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
-// RunPackage applies the given analyzers to one loaded package and returns
-// the raw (unsuppressed) diagnostics.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// RunPackage applies the given analyzers to one loaded package with the
+// given facts store (nil disables interprocedural checks) and returns the
+// raw (unsuppressed) diagnostics.
+func RunPackage(pkg *Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -105,6 +117,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
+			Facts:    facts,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -112,31 +125,51 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// Run loads every directory, applies the analyzers, filters suppressed
-// findings and appends directive hygiene problems (malformed or unused
-// ignores). Diagnostics come back sorted by position. reportUnused should
-// be set only when the full suite ran, since an ignore directive for an
-// analyzer that did not run always looks unused.
-func Run(loader *Loader, dirs []string, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
+// RunOptions configures a Run.
+type RunOptions struct {
+	// ReportUnused reports kmlint:ignore directives that suppressed
+	// nothing. Set it only when the full suite ran, since an ignore for an
+	// analyzer that did not run always looks unused.
+	ReportUnused bool
+	// KeepSuppressed returns suppressed findings (marked, with IgnoredBy
+	// set) instead of dropping them — the -json mode's audit trail.
+	KeepSuppressed bool
+}
+
+// Run is the driver: it loads every directory, computes the
+// interprocedural facts over the whole universe — the loaded packages
+// plus every module-internal dependency the loader pulled in, ordered
+// bottom-up over call-graph SCCs — then applies the analyzers one
+// package at a time, filters suppressed findings and appends directive
+// hygiene problems (malformed or unused ignores). Diagnostics come back
+// sorted by position.
+func Run(loader *Loader, dirs []string, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	var units []*Package
 	var all []Diagnostic
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, pkg := range pkgs {
-			for _, terr := range pkg.TypeErrors {
-				all = append(all, Diagnostic{
-					Pos:     terr.Fset.Position(terr.Pos),
-					Check:   "typecheck",
-					Message: terr.Msg,
-				})
-			}
-			diags := RunPackage(pkg, analyzers)
-			directives := collectDirectives(pkg.Fset, pkg.Files)
-			all = append(all, applySuppressions(diags, directives)...)
-			all = append(all, directiveProblems(directives, reportUnused)...)
+		units = append(units, pkgs...)
+	}
+
+	universe := append([]*Package{}, units...)
+	universe = append(universe, loader.DepPackages()...)
+	facts := ComputeFacts(loader.Fset, universe)
+
+	for _, pkg := range units {
+		for _, terr := range pkg.TypeErrors {
+			all = append(all, Diagnostic{
+				Pos:     terr.Fset.Position(terr.Pos),
+				Check:   "typecheck",
+				Message: terr.Msg,
+			})
 		}
+		diags := RunPackage(pkg, analyzers, facts)
+		directives := collectDirectives(pkg.Fset, pkg.Files)
+		all = append(all, applySuppressions(diags, directives, opts.KeepSuppressed)...)
+		all = append(all, directiveProblems(directives, opts.ReportUnused)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
@@ -159,17 +192,7 @@ func Run(loader *Loader, dirs []string, analyzers []*Analyzer, reportUnused bool
 // calleeFunc resolves the statically-known function or method a call
 // invokes, or nil for calls of function values, conversions and builtins.
 func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := p.Info.Uses[id].(*types.Func)
-	return fn
+	return calleeFuncOf(p.Info, call)
 }
 
 // calleeVar resolves the function-valued variable (local, parameter or

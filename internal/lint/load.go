@@ -30,6 +30,11 @@ type Loader struct {
 
 	std   types.Importer
 	cache map[string]*types.Package
+	// deps retains the full analysis view (syntax + Info) of every
+	// module-internal package type-checked through Import, so the facts
+	// layer can compute summaries for dependency code the analyzers never
+	// run over directly.
+	deps map[string]*Package
 }
 
 // Package is one type-checked unit of analysis: either a directory's
@@ -73,6 +78,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModuleDir:  modDir,
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      map[string]*types.Package{},
+		deps:       map[string]*Package{},
 	}, nil
 }
 
@@ -113,14 +119,36 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if len(files) == 0 {
 			return nil, fmt.Errorf("lint: no Go source in %s", dir)
 		}
-		pkg, _, errs := l.typeCheck(path, files)
+		pkg, info, errs := l.typeCheck(path, files)
 		if len(errs) > 0 {
 			return nil, fmt.Errorf("lint: type-checking dependency %s: %s", path, errs[0].Msg)
 		}
 		l.cache[path] = pkg
+		l.deps[path] = &Package{
+			Dir: dir, Path: path, Name: files[0].Name.Name,
+			Fset: l.Fset, Files: files, Types: pkg, Info: info,
+		}
 		return pkg, nil
 	}
 	return l.std.Import(path)
+}
+
+// DepPackages returns every module-internal dependency package Import has
+// type-checked so far, sorted by import path. Together with the packages
+// under analysis they form the facts universe: the call graph spans them,
+// so a summary computed for transport.Endpoint.Send is visible while
+// analyzing internal/core.
+func (l *Loader) DepPackages() []*Package {
+	paths := make([]string, 0, len(l.deps))
+	for p := range l.deps {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.deps[p])
+	}
+	return out
 }
 
 // parseDir parses a directory's .go files (ParseComments, so kmlint

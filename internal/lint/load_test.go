@@ -47,6 +47,56 @@ func TestLoaderTypeChecksDependencies(t *testing.T) {
 	}
 }
 
+// TestLoaderRetainsDepPackages: Import keeps the full analysis view
+// (syntax + type info) of every module-internal dependency, sorted, so
+// the facts layer can summarize code the analyzers never run over.
+func TestLoaderRetainsDepPackages(t *testing.T) {
+	loader := fixtureLoader(t)
+	if _, err := loader.LoadDir(filepath.Join(loader.ModuleDir, "internal", "transport")); err != nil {
+		t.Fatalf("LoadDir(internal/transport): %v", err)
+	}
+	deps := loader.DepPackages()
+	byPath := map[string]*Package{}
+	for i, p := range deps {
+		byPath[p.Path] = p
+		if i > 0 && deps[i-1].Path >= p.Path {
+			t.Errorf("DepPackages not sorted: %q before %q", deps[i-1].Path, p.Path)
+		}
+	}
+	for _, want := range []string{"internal/wire", "internal/bufpool", "internal/udt"} {
+		p := byPath[loader.ModulePath+"/"+want]
+		if p == nil {
+			t.Errorf("DepPackages missing %s", want)
+			continue
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: dep package retained without its full analysis view", want)
+		}
+	}
+}
+
+// TestLoaderImportsTestdataPackages: fixture directories resolve through
+// the module importer like any other package, which is what the
+// cross-package fixtures (testdata/lockorder/xpkg) rely on.
+func TestLoaderImportsTestdataPackages(t *testing.T) {
+	loader := fixtureLoader(t)
+	path := loader.ModulePath + "/internal/lint/testdata/lockorder/xpkg/locks"
+	pkg, err := loader.Import(path)
+	if err != nil {
+		t.Fatalf("Import(%s): %v", path, err)
+	}
+	if pkg.Name() != "locks" {
+		t.Errorf("imported package name = %q, want locks", pkg.Name())
+	}
+	found := false
+	for _, p := range loader.DepPackages() {
+		found = found || p.Path == path
+	}
+	if !found {
+		t.Error("imported fixture package not retained in DepPackages")
+	}
+}
+
 func TestPathForRejectsOutsideModule(t *testing.T) {
 	loader := fixtureLoader(t)
 	if _, err := loader.PathFor(filepath.Dir(loader.ModuleDir)); err == nil {

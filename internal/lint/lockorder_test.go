@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestLockOrderBadFixtures(t *testing.T) {
+	runFixture(t, "testdata/lockorder/bad", []*Analyzer{LockOrder}, false)
+}
+
+func TestLockOrderCleanFixtures(t *testing.T) {
+	runFixture(t, "testdata/lockorder/clean", []*Analyzer{LockOrder}, false)
+}
+
+// TestLockOrderCrossPackage loads a fixture whose cycle only closes
+// across a package boundary: each package's nesting is one-directional,
+// and the reverse edge exists solely in the facts exported for the
+// dependency package's Acquire/Release pair.
+func TestLockOrderCrossPackage(t *testing.T) {
+	runFixture(t, "testdata/lockorder/xpkg", []*Analyzer{LockOrder}, false)
+}

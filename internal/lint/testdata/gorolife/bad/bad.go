@@ -1,0 +1,38 @@
+// Package bad spawns goroutines with no shutdown path: no
+// WaitGroup.Done, no channel receive, directly or through any
+// summarized callee. Each one outlives Stop until process exit.
+package bad
+
+// pump produces forever and never listens: receivers can stop, the pump
+// cannot.
+func pump(ch chan<- int) {
+	for i := 0; ; i++ {
+		ch <- i
+	}
+}
+
+func startPump(ch chan int) {
+	go pump(ch) // want "goroutine has no shutdown path"
+}
+
+// startSpinner's literal retries forever; with no signal in and no Done
+// out it is the canonical fire-and-forget leak.
+func startSpinner() {
+	go func() { // want "goroutine has no shutdown path"
+		for {
+			step()
+		}
+	}()
+}
+
+func step() {}
+
+// run only forwards to pump, so the missing shutdown path is visible
+// only through pump's summary.
+func run(ch chan int) {
+	pump(ch)
+}
+
+func startIndirect(ch chan int) {
+	go run(ch) // want "goroutine has no shutdown path"
+}

@@ -1,0 +1,70 @@
+// Package clean ties every goroutine to a shutdown path: a
+// WaitGroup.Done that Stop waits on, a quit-channel select, or a channel
+// drain — directly in the spawned literal or through a summarized
+// callee.
+package clean
+
+import "sync"
+
+type svc struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+	n    int
+}
+
+// loop is the worker shape: Done on exit, quit channel in the select.
+func (s *svc) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case v := <-s.work:
+			s.n += v
+		}
+	}
+}
+
+func (s *svc) start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// startLit inlines the same contract in a literal.
+func (s *svc) startLit() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for v := range s.work {
+			s.n += v
+		}
+	}()
+}
+
+// drain ranges a channel; closing s.work shuts it down by construction.
+func (s *svc) drain() {
+	for v := range s.work {
+		s.n += v
+	}
+}
+
+func (s *svc) startDrain() {
+	go s.drain()
+}
+
+// startWaiter blocks on the quit channel directly.
+func (s *svc) startWaiter() {
+	go func() {
+		<-s.done
+		s.n = 0
+	}()
+}
+
+// startWrapped reaches the shutdown path only through loop's summary.
+func (s *svc) startWrapped() {
+	s.wg.Add(1)
+	go func() {
+		s.loop()
+	}()
+}

@@ -1,0 +1,82 @@
+// Package bad holds lock-order violations: a two-class cycle split
+// across functions (one direction hidden behind a helper that returns
+// holding its lock), and same-class stripe nesting that no ascending
+// sweep justifies.
+package bad
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+// abNest is one half of the two-class cycle.
+func abNest(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "lock-order cycle: bad.b.mu acquired while holding bad.a.mu"
+	y.n = x.n
+	y.mu.Unlock()
+}
+
+// baNest is the reverse half: innocuous alone, fatal with abNest.
+func baNest(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock() // want "lock-order cycle: bad.a.mu acquired while holding bad.b.mu"
+	x.n = y.n
+	x.mu.Unlock()
+}
+
+// lockA returns holding x.mu, so the facts layer carries the held set
+// into every caller.
+func lockA(x *a) {
+	x.mu.Lock()
+	x.n++
+}
+
+func unlockA(x *a) {
+	x.mu.Unlock()
+}
+
+// viaHelper recreates the a-then-b direction with no Lock call on the
+// held class anywhere in the function.
+func viaHelper(x *a, y *b) {
+	lockA(x)
+	y.mu.Lock() // want "lock-order cycle: bad.b.mu acquired while holding bad.a.mu"
+	y.n++
+	y.mu.Unlock()
+	unlockA(x)
+}
+
+type striped struct {
+	shards map[int]*a
+}
+
+// lockAll accumulates every shard lock across a map range: iteration
+// order is unspecified, so the same-class nesting has no provable order
+// and two concurrent sweeps can deadlock.
+func (s *striped) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock() // want "same-class lock nesting: bad.a.mu acquired while another bad.a.mu is held"
+	}
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// pairNest nests two locks of one class in a straight line; two callers
+// passing the arguments swapped deadlock.
+func pairNest(x, y *a) {
+	x.mu.Lock()
+	y.mu.Lock() // want "same-class lock nesting: bad.a.mu acquired while another bad.a.mu is held"
+	x.n, y.n = y.n, x.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,36 @@
+// Package xpkg closes a lock-order cycle across a package boundary: each
+// direction is innocuous on its own, and neither shows a Lock call on
+// the foreign mutex — only the facts exported for locks.Registry.Acquire
+// (held at exit, acquires r.mu) make the cycle visible.
+package xpkg
+
+import (
+	"sync"
+
+	"github.com/kompics/kompicsmessaging-go/internal/lint/testdata/lockorder/xpkg/locks"
+)
+
+type table struct {
+	mu   sync.Mutex
+	rows int
+}
+
+// aThenB holds the registry (via the summarized Acquire) around the
+// table's critical section.
+func aThenB(r *locks.Registry, t *table) {
+	r.Acquire()
+	t.mu.Lock() // want "lock-order cycle: xpkg.table.mu acquired while holding locks.Registry.mu"
+	t.rows++
+	t.mu.Unlock()
+	r.Release()
+}
+
+// bThenA nests the same pair the other way; the edge appears at the
+// Acquire call because the acquisition happens inside the callee.
+func bThenA(r *locks.Registry, t *table) {
+	t.mu.Lock()
+	r.Acquire() // want "lock-order cycle: locks.Registry.mu acquired while holding xpkg.table.mu"
+	t.rows++
+	r.Release()
+	t.mu.Unlock()
+}

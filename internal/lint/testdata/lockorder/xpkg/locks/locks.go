@@ -1,0 +1,26 @@
+// Package locks is the dependency half of the cross-package lockorder
+// fixture. Acquire returns holding r.mu; only the function fact exported
+// across the package boundary lets the importing package's nesting close
+// a cycle.
+package locks
+
+import "sync"
+
+// Registry is a lock-protected counter whose critical sections span
+// Acquire/Release call pairs in the importing package.
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Acquire locks the registry and leaves it held for the caller.
+func (r *Registry) Acquire() {
+	r.mu.Lock()
+	r.n++
+}
+
+// Release unlocks a registry previously locked by Acquire.
+func (r *Registry) Release() {
+	r.n--
+	r.mu.Unlock()
+}

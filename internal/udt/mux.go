@@ -211,8 +211,12 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	// conn.Close, or below on handshake failure). A connected UDP socket
 	// surfaces ICMP port-unreachable as ECONNREFUSED when our handshake
 	// raced the peer's bind; that is transient — the handshake retries.
-	// Only a closed socket ends the loop.
+	// Only a closed socket ends the loop. It joins conn.wg so Close, which
+	// closes the socket before waiting, reaps it — without this the loop
+	// outlived every Dial'd connection until process exit.
+	conn.wg.Add(1)
 	go func() {
+		defer conn.wg.Done()
 		if br := newBatchReader(sock); br != nil {
 			for {
 				n, err := br.read()
