@@ -9,6 +9,8 @@
 #                       "current" section of BENCH_hotpath.json
 #   make bench-udt      rerun the UDT data-path benchmarks and refresh the
 #                       "current" section of BENCH_udt.json
+#   make sim-campaign   run the large-scale netsim campaign on both event
+#                       cores and refresh BENCH_sim.json
 #   make bench          full benchmark sweep (figures + ablations)
 
 GO ?= go
@@ -27,7 +29,7 @@ FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole
 RECV_PKGS = ./internal/transport/ ./internal/core/ ./internal/vnet/
 RECV_RUN  = 'RecvOrder|DecodeStage|VNodeFanin'
 
-.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin
+.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin sim-campaign
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint -audit-ignores ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -78,6 +80,33 @@ bench-fanin:
 	$(GO) test -bench FaninReceive -run '^$$' -benchmem $(FANIN_PKGS) | tee $(FANIN_OUT)
 	$(GO) run ./cmd/benchjson -label current -out BENCH_fanin.json < $(FANIN_OUT)
 	@rm -f $(FANIN_OUT)
+
+# sim-campaign runs the scaled netsim campaign on both event cores and
+# refreshes BENCH_sim.json: the binary-heap core lands in the "baseline"
+# section, the timer-wheel core in "current". A small-scale determinism
+# gate runs first — the same seed must produce identical event traces and
+# phase results on both cores. Scale through the environment:
+#
+#   make sim-campaign SIM_SCALE=1000000 SIM_HOSTS=10000 SIM_DURATION=2s
+#
+SIM_SCALE    ?= 100000
+SIM_HOSTS    ?= 1000
+SIM_TOPO     ?= gossip
+SIM_SEED     ?= 1
+SIM_DURATION ?= 10s
+SIM_BIN      = ./kmsim.bin
+SIM_OUT      = BENCH_sim.out
+SIM_FLAGS    = -endpoints $(SIM_SCALE) -hosts $(SIM_HOSTS) -topology $(SIM_TOPO) \
+               -seed $(SIM_SEED) -phase $(SIM_DURATION)
+
+sim-campaign:
+	$(GO) build -o $(SIM_BIN) ./cmd/kmsim
+	$(SIM_BIN) -verify -endpoints 2000 -hosts 100 -topology $(SIM_TOPO) -seed $(SIM_SEED) -phase 2s
+	$(SIM_BIN) $(SIM_FLAGS) -clock heap | tee $(SIM_OUT)
+	$(GO) run ./cmd/benchjson -label baseline -out BENCH_sim.json < $(SIM_OUT)
+	$(SIM_BIN) $(SIM_FLAGS) -clock wheel | tee $(SIM_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_sim.json < $(SIM_OUT)
+	@rm -f $(SIM_OUT) $(SIM_BIN)
 
 # test-recv runs the receive-path property suite (per-peer inbound FIFO,
 # at-most-once delivery, zero-leak teardown) race-enabled and repeated.

@@ -18,13 +18,17 @@ import (
 	"time"
 )
 
-// result holds one benchmark line's parsed metrics.
+// result holds one benchmark line's parsed metrics. Units outside the
+// standard -benchmem set (anything reported via testing.B.ReportMetric or
+// by harnesses like cmd/kmsim that emit bench-formatted lines with units
+// such as events/s or peak-rss-B) land in Extra keyed by unit name.
 type result struct {
-	NsPerOp       float64 `json:"ns_per_op"`
-	MBPerS        float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64            `json:"ns_per_op"`
+	MBPerS        float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp    int64              `json:"bytes_per_op"`
+	AllocsPerOp   int64              `json:"allocs_per_op"`
+	Iterations    int64              `json:"iterations"`
+	Extra         map[string]float64 `json:"extra,omitempty"`
 	parsedAnyUnit bool
 }
 
@@ -115,6 +119,16 @@ func parseBench(f *os.File) (map[string]result, error) {
 				r.parsedAnyUnit = true
 			case "allocs/op":
 				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+				r.parsedAnyUnit = true
+			default:
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					continue
+				}
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = f
 				r.parsedAnyUnit = true
 			}
 		}

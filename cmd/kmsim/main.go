@@ -1,0 +1,209 @@
+// Command kmsim runs netsim campaigns at scale and reports event-core
+// throughput in go-bench format, so the output pipes straight through
+// cmd/benchjson into BENCH_sim.json:
+//
+//	kmsim -endpoints 100000 -hosts 1000 -clock heap  | benchjson -label baseline -out BENCH_sim.json
+//	kmsim -endpoints 100000 -hosts 1000 -clock wheel | benchjson -label current  -out BENCH_sim.json
+//
+// Each run executes -phases consecutive campaign phases on one simulator
+// instance and reports, per the whole run: wall-clock ns per event,
+// events/s, peak RSS (VmHWM), RSS growth between the first and last phase
+// (the pooled event/message paths should hold this near zero), the
+// live-timer high-water mark, and the deterministic trace hash.
+//
+// With -verify the same campaign is run on both event cores and the tool
+// exits non-zero unless their trace hashes and results are identical —
+// the determinism gate CI runs at small scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/netsim"
+)
+
+func main() {
+	var (
+		endpoints   = flag.Int("endpoints", 100000, "logical endpoints (vnodes)")
+		hosts       = flag.Int("hosts", 1000, "simulated hosts the vnodes share")
+		topology    = flag.String("topology", "gossip", "host graph: gossip|star|tree")
+		degree      = flag.Int("degree", 8, "gossip out-degree")
+		fanout      = flag.Int("fanout", 4, "tree fanout")
+		msgSize     = flag.Int("msgsize", 256, "payload bytes per message")
+		phase       = flag.Duration("phase", 10*time.Second, "virtual duration of one phase")
+		phases      = flag.Int("phases", 2, "consecutive phases to run")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		clockImpl   = flag.String("clock", "wheel", "event core: wheel|heap")
+		interval    = flag.Duration("interval", 2*time.Second, "mean per-endpoint send interval")
+		flashAt     = flag.Duration("flash-at", 2*time.Second, "flash crowd start offset")
+		flashLen    = flag.Duration("flash-len", 2*time.Second, "flash crowd length (0 disables)")
+		flashX      = flag.Float64("flash-factor", 10, "flash crowd rate multiplier")
+		churn       = flag.Duration("churn", 100*time.Millisecond, "mean time between endpoint up/down flips (0 disables)")
+		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "per-endpoint heartbeat period")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-message retransmission timeout")
+		detectors   = flag.Int("detectors", 8, "per-peer failure detectors per endpoint (0 disables)")
+		detInterval = flag.Duration("detector-interval", 250*time.Millisecond, "failure-detector evaluation period")
+		verify      = flag.Bool("verify", false, "run both event cores and require identical traces")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kmsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kmsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := netsim.CampaignConfig{
+		Endpoints: *endpoints,
+		Hosts:     *hosts,
+		Topology:  *topology,
+		Degree:    *degree,
+		Fanout:    *fanout,
+		MsgSize:   *msgSize,
+		Phase:     *phase,
+		Seed:      *seed,
+		Clock:     *clockImpl,
+		Arrival: netsim.ArrivalConfig{
+			MeanInterval: *interval,
+			FlashAt:      *flashAt,
+			FlashLen:     *flashLen,
+			FlashFactor:  *flashX,
+		},
+		Churn:             netsim.ChurnConfig{MeanFlipInterval: *churn},
+		HeartbeatInterval: *heartbeat,
+		RetransTimeout:    *timeout,
+		DetectorFanout:    *detectors,
+		DetectorInterval:  *detInterval,
+	}
+
+	if *verify {
+		os.Exit(runVerify(cfg, *phases))
+	}
+
+	run(cfg, *phases)
+}
+
+// run executes one campaign and prints the bench line.
+func run(cfg netsim.CampaignConfig, phases int) {
+	c := netsim.NewCampaign(cfg)
+	eff := c.Config()
+
+	var total netsim.CampaignResult
+	var firstPhaseRSS int64
+	start := time.Now()
+	for p := 0; p < phases; p++ {
+		r := c.RunPhase()
+		total.Events += r.Events
+		total.Sends += r.Sends
+		total.Delivered += r.Delivered
+		total.ForwardHops += r.ForwardHops
+		total.LocalReflects += r.LocalReflects
+		total.Timeouts += r.Timeouts
+		total.HeartbeatTicks += r.HeartbeatTicks
+		total.ChurnFlips += r.ChurnFlips
+		total.DetectorTicks += r.DetectorTicks
+		total.Suspicions += r.Suspicions
+		total.DeliveredDown += r.DeliveredDown
+		total.PendingAtEnd = r.PendingAtEnd
+		total.LiveTimerHWM = r.LiveTimerHWM
+		total.TraceHash = r.TraceHash
+		if p == 0 {
+			firstPhaseRSS = peakRSSBytes()
+		}
+		fmt.Fprintf(os.Stderr, "kmsim: phase %d: %d events, %d sends, %d delivered, pending=%d, rss=%dB\n",
+			p+1, r.Events, r.Sends, r.Delivered, r.PendingAtEnd, peakRSSBytes())
+		// Collect at the phase boundary so each phase starts from a settled
+		// heap: RSS growth between phases then measures real footprint
+		// growth (leaked pools, retained buffers) rather than where the
+		// previous phase happened to sit in its GC cycle.
+		runtime.GC()
+	}
+	wall := time.Since(start)
+
+	rss := peakRSSBytes()
+	growthPct := 0.0
+	if firstPhaseRSS > 0 {
+		growthPct = 100 * float64(rss-firstPhaseRSS) / float64(firstPhaseRSS)
+	}
+	evPerSec := float64(total.Events) / wall.Seconds()
+	nsPerEvent := float64(wall.Nanoseconds()) / float64(total.Events)
+
+	name := fmt.Sprintf("BenchmarkSimCampaign/topo=%s/endpoints=%d/hosts=%d/clock=%s",
+		eff.Topology, eff.Endpoints, eff.Hosts, eff.Clock)
+	fmt.Printf("%s \t%d\t%.1f ns/op\t%.0f events/s\t%d peak-rss-B\t%.2f rss-growth-pct\t%d timer-hwm\n",
+		name, total.Events, nsPerEvent, evPerSec, rss, growthPct, total.LiveTimerHWM)
+
+	fmt.Fprintf(os.Stderr,
+		"kmsim: %s: %d events in %v wall (%.0f events/s)\n"+
+			"kmsim: sends=%d delivered=%d forwards=%d reflects=%d timeouts=%d hb=%d detect=%d suspect=%d churn=%d deadletter=%d\n"+
+			"kmsim: timer-hwm=%d pending-at-end=%d peak-rss=%dB rss-growth=%.2f%% trace-hash=%#016x\n",
+		eff.Clock, total.Events, wall.Round(time.Millisecond), evPerSec,
+		total.Sends, total.Delivered, total.ForwardHops, total.LocalReflects,
+		total.Timeouts, total.HeartbeatTicks, total.DetectorTicks, total.Suspicions,
+		total.ChurnFlips, total.DeliveredDown,
+		total.LiveTimerHWM, total.PendingAtEnd, rss, growthPct, total.TraceHash)
+}
+
+// runVerify runs the identical campaign on both event cores and compares
+// their behaviour event for event (via the rolling trace hash and the
+// phase results).
+func runVerify(cfg netsim.CampaignConfig, phases int) int {
+	results := map[string][]netsim.CampaignResult{}
+	for _, impl := range []string{"wheel", "heap"} {
+		c := cfg
+		c.Clock = impl
+		camp := netsim.NewCampaign(c)
+		for p := 0; p < phases; p++ {
+			results[impl] = append(results[impl], camp.RunPhase())
+		}
+	}
+	for p := 0; p < phases; p++ {
+		w, h := results["wheel"][p], results["heap"][p]
+		if w != h {
+			fmt.Fprintf(os.Stderr, "kmsim: VERIFY FAILED: phase %d differs\nwheel: %+v\nheap:  %+v\n", p+1, w, h)
+			return 1
+		}
+	}
+	last := results["wheel"][phases-1]
+	fmt.Fprintf(os.Stderr, "kmsim: verify ok: %d phases identical on both cores, trace-hash=%#016x, %d events\n",
+		phases, last.TraceHash, last.Events)
+	return 0
+}
+
+// peakRSSBytes reads the process's high-water resident set size from
+// /proc/self/status (VmHWM). On platforms without procfs it falls back to
+// the Go runtime's view of memory obtained from the OS.
+func peakRSSBytes() int64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}

@@ -6,12 +6,18 @@
 // reading the current instant and scheduling one-shot timers. Timers fired
 // by a virtual clock run synchronously inside the simulation loop, which is
 // what makes experiment runs deterministic.
+//
+// Two virtual implementations exist. Virtual is the production event core:
+// a hierarchical timer wheel with an overflow heap, O(1) scheduling and
+// cancellation, and pooled timer nodes, built for simulations with 10⁵-10⁶
+// concurrently pending timers. VirtualHeap is the original binary-heap
+// implementation, kept as the A/B baseline and as the oracle for the
+// wheel's determinism property tests: both fire timers in exactly
+// (deadline, creation-id) order, so identical seeds must produce
+// byte-identical event traces on either.
 package clock
 
-import (
-	"sync"
-	"time"
-)
+import "time"
 
 // Timer is a handle to a scheduled callback. Stop prevents the callback
 // from running if it has not run yet.
@@ -28,6 +34,58 @@ type Clock interface {
 	// AfterFunc schedules f to run after d. The callback must not block;
 	// on a virtual clock it executes inline in the simulation loop.
 	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// SimClock is the surface shared by the wheel-backed Virtual and the
+// heap-backed VirtualHeap oracle. The simulator (internal/netsim) drives
+// either implementation through this interface, which is what makes the
+// event-core A/B benchmark (make sim-campaign) a one-flag swap.
+type SimClock interface {
+	Clock
+
+	// Post schedules f like AfterFunc but returns no handle, so the
+	// implementation may recycle the timer node the moment it fires. This
+	// is the simulator's hot path: a posted event costs no allocation on
+	// the wheel once the node pool is warm.
+	Post(d time.Duration, f func())
+
+	// PostArg is Post for callbacks that need one argument. Passing the
+	// argument through the timer node instead of a fresh closure lets
+	// callers reuse a single func value for millions of events.
+	PostArg(d time.Duration, f func(arg any), arg any)
+
+	// NowNanos reports the current instant in nanoseconds since the Unix
+	// epoch, readable without taking the clock lock. Event callbacks that
+	// only need a timestamp (per-event trace marks, delivery stamps) use
+	// this instead of Now, which would otherwise be the hottest lock in a
+	// million-event campaign.
+	NowNanos() int64
+
+	// Advance moves the clock forward by d, firing every timer that
+	// becomes due, in (deadline, creation-id) order.
+	Advance(d time.Duration)
+
+	// AdvanceTo moves the clock forward to instant t, firing every timer
+	// due at or before t. Timers scheduled by fired callbacks are honoured
+	// if they fall within the window.
+	AdvanceTo(t time.Time)
+
+	// PendingTimers reports how many timers are scheduled and not yet
+	// fired or stopped. O(1).
+	PendingTimers() int
+
+	// NextDeadline returns the due time of the earliest pending timer.
+	// The boolean result is false when no timer is pending.
+	NextDeadline() (time.Time, bool)
+
+	// HighWaterTimers reports the maximum number of concurrently pending
+	// timers observed since the clock was created — the live-timer
+	// high-water mark campaign reports track.
+	HighWaterTimers() int
+
+	// FiredTimers reports the total number of timer callbacks executed —
+	// the event count campaign throughput is measured against.
+	FiredTimers() uint64
 }
 
 // Real is a Clock backed by the operating-system clock.
@@ -47,216 +105,3 @@ func (Real) AfterFunc(d time.Duration, f func()) Timer {
 type realTimer struct{ t *time.Timer }
 
 func (r realTimer) Stop() bool { return r.t.Stop() }
-
-// Virtual is a manually advanced Clock for deterministic tests and
-// simulations. Time only moves when Advance or AdvanceTo is called; due
-// timers fire synchronously, in timestamp order, on the advancing
-// goroutine. The zero value starts at the zero time; NewVirtual starts at
-// an arbitrary fixed epoch to make timestamps readable.
-type Virtual struct {
-	mu     sync.Mutex
-	now    time.Time
-	nextID int64
-	timers timerHeap
-}
-
-var _ Clock = (*Virtual)(nil)
-
-// NewVirtual returns a virtual clock positioned at a fixed, non-zero epoch.
-func NewVirtual() *Virtual {
-	return &Virtual{now: time.Unix(0, 0).UTC()}
-}
-
-// Now implements Clock.
-func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
-}
-
-// AfterFunc implements Clock. The callback runs during a future Advance
-// call, on the goroutine calling Advance.
-func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
-	if d < 0 {
-		d = 0
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.nextID++
-	vt := &virtualTimer{
-		clock: v,
-		id:    v.nextID,
-		when:  v.now.Add(d),
-		f:     f,
-	}
-	v.timers.push(vt)
-	return vt
-}
-
-// Advance moves the clock forward by d, firing every timer that becomes
-// due, in order.
-func (v *Virtual) Advance(d time.Duration) {
-	v.mu.Lock()
-	target := v.now.Add(d)
-	v.mu.Unlock()
-	v.AdvanceTo(target)
-}
-
-// AdvanceTo moves the clock forward to instant t, firing every timer due at
-// or before t in timestamp order (ties break in creation order). Timers
-// scheduled by fired callbacks are honoured if they fall within the window.
-func (v *Virtual) AdvanceTo(t time.Time) {
-	for {
-		v.mu.Lock()
-		if t.Before(v.now) {
-			v.mu.Unlock()
-			return
-		}
-		vt := v.timers.peek()
-		if vt == nil || vt.when.After(t) {
-			v.now = t
-			v.mu.Unlock()
-			return
-		}
-		v.timers.pop()
-		if vt.stopped {
-			v.mu.Unlock()
-			continue
-		}
-		v.now = vt.when
-		vt.fired = true
-		v.mu.Unlock()
-		vt.f()
-	}
-}
-
-// PendingTimers reports how many timers are scheduled and not yet fired or
-// stopped. Useful in tests.
-func (v *Virtual) PendingTimers() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	n := 0
-	for _, t := range v.timers {
-		if !t.stopped && !t.fired {
-			n++
-		}
-	}
-	return n
-}
-
-// NextDeadline returns the due time of the earliest pending timer. The
-// boolean result is false when no timer is pending.
-func (v *Virtual) NextDeadline() (time.Time, bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, t := range v.timers {
-		if !t.stopped && !t.fired {
-			// The heap root is the earliest, but stopped entries may
-			// linger; scan is fine at test scale.
-			best := t.when
-			for _, u := range v.timers {
-				if !u.stopped && !u.fired && u.when.Before(best) {
-					best = u.when
-				}
-			}
-			return best, true
-		}
-	}
-	return time.Time{}, false
-}
-
-type virtualTimer struct {
-	clock   *Virtual
-	id      int64
-	when    time.Time
-	f       func()
-	stopped bool
-	fired   bool
-	index   int
-}
-
-func (t *virtualTimer) Stop() bool {
-	t.clock.mu.Lock()
-	defer t.clock.mu.Unlock()
-	if t.fired || t.stopped {
-		return false
-	}
-	t.stopped = true
-	return true
-}
-
-// timerHeap is a binary min-heap ordered by (when, id).
-type timerHeap []*virtualTimer
-
-func (h timerHeap) less(i, j int) bool {
-	if !h[i].when.Equal(h[j].when) {
-		return h[i].when.Before(h[j].when)
-	}
-	return h[i].id < h[j].id
-}
-
-func (h *timerHeap) push(t *virtualTimer) {
-	*h = append(*h, t)
-	i := len(*h) - 1
-	(*h)[i].index = i
-	h.up(i)
-}
-
-func (h timerHeap) peek() *virtualTimer {
-	if len(h) == 0 {
-		return nil
-	}
-	return h[0]
-}
-
-func (h *timerHeap) pop() *virtualTimer {
-	old := *h
-	n := len(old)
-	if n == 0 {
-		return nil
-	}
-	top := old[0]
-	old[0] = old[n-1]
-	old[0].index = 0
-	*h = old[:n-1]
-	if len(*h) > 0 {
-		h.down(0)
-	}
-	return top
-}
-
-func (h timerHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			return
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h timerHeap) down(i int) {
-	n := len(h)
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < n && h.less(left, smallest) {
-			smallest = left
-		}
-		if right < n && h.less(right, smallest) {
-			smallest = right
-		}
-		if smallest == i {
-			return
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
-}
-
-func (h timerHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}

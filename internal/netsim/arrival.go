@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalConfig shapes each endpoint's send process as a Poisson stream:
+// inter-send gaps are exponential with the given mean. A flash crowd can
+// be layered on top — inside the window [FlashAt, FlashAt+FlashLen) from
+// campaign start, the mean interval is divided by FlashFactor, multiplying
+// the aggregate arrival rate the way a thundering-herd event does.
+type ArrivalConfig struct {
+	// MeanInterval is the mean virtual time between sends per endpoint.
+	MeanInterval time.Duration
+	// FlashAt is the offset from campaign start at which the flash crowd
+	// begins; FlashLen is its duration. FlashLen <= 0 disables the flash.
+	FlashAt  time.Duration
+	FlashLen time.Duration
+	// FlashFactor multiplies the send rate inside the flash window.
+	// Values <= 1 disable the flash.
+	FlashFactor float64
+}
+
+// flashing reports whether the flash window covers the elapsed instant.
+func (a ArrivalConfig) flashing(elapsed time.Duration) bool {
+	return a.FlashLen > 0 && a.FlashFactor > 1 &&
+		elapsed >= a.FlashAt && elapsed < a.FlashAt+a.FlashLen
+}
+
+// nextInterval draws the next inter-send gap at the given elapsed time.
+// Draws are clamped to 8× the mean so one unlucky tail draw cannot idle an
+// endpoint for a whole phase.
+func (a ArrivalConfig) nextInterval(rng *rand.Rand, elapsed time.Duration) time.Duration {
+	mean := float64(a.MeanInterval)
+	if a.flashing(elapsed) {
+		mean /= a.FlashFactor
+	}
+	d := time.Duration(rng.ExpFloat64() * mean)
+	if max := time.Duration(8 * mean); d > max {
+		d = max
+	}
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// ChurnConfig drives endpoint membership churn: at exponential intervals
+// with the given mean, one uniformly random endpoint flips between up and
+// down. Down endpoints keep their arrival timers (they skip sends but stay
+// scheduled, like a crashed process whose peers keep probing it) and are
+// unbound from their host's vnode mux, so traffic addressed to them falls
+// through to the mux's dead-letter handler.
+type ChurnConfig struct {
+	// MeanFlipInterval is the mean virtual time between flips across the
+	// whole campaign. Zero disables churn.
+	MeanFlipInterval time.Duration
+}
+
+// nextFlip draws the gap until the next churn flip.
+func (c ChurnConfig) nextFlip(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(c.MeanFlipInterval))
+	if max := 8 * c.MeanFlipInterval; d > max {
+		d = max
+	}
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}

@@ -25,6 +25,11 @@ type Message struct {
 	Size int
 	// Kind tags the message for statistics.
 	Kind MsgKind
+	// SrcVNode and DstVNode identify logical endpoints when the message
+	// travels between virtual nodes multiplexed onto the simulated hosts
+	// (see internal/vnet.HostMux). Zero when unused.
+	SrcVNode uint64
+	DstVNode uint64
 	// EnqueuedAt and DeliveredAt are stamped by the simulator.
 	EnqueuedAt  time.Time
 	DeliveredAt time.Time
@@ -77,12 +82,18 @@ func (p *Path) NewConn(proto core.Transport, opts ...ConnOption) *Conn {
 	}
 	c := &Conn{path: p, proto: proto}
 	for d := AtoB; d <= BtoA; d++ {
-		c.lanes[d] = &lane{
+		l := &lane{
 			conn:  c,
 			dir:   d,
 			model: newModel(proto, p.modelRTT()),
 		}
-		p.register(c.lanes[d])
+		// Bind the two event callbacks once per lane. Every transmission
+		// reuses these func values through Post/PostArg, so the per-message
+		// hot path creates no closures at all.
+		l.sentEvt = l.sent
+		l.deliverEvt = l.deliver
+		c.lanes[d] = l
+		p.register(l)
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -129,8 +140,8 @@ func (c *Conn) Send(d Dir, m *Message) {
 		return
 	}
 	l := c.lanes[d]
-	m.EnqueuedAt = c.path.sim.Now()
-	l.queue = append(l.queue, m)
+	m.EnqueuedAt = time.Unix(0, c.path.sim.NowNanos()).UTC()
+	l.queue.push(m)
 	l.queuedBytes += m.Size
 	l.maybeStart()
 }
@@ -140,7 +151,7 @@ func (c *Conn) Send(d Dir, m *Message) {
 func (c *Conn) QueuedBytes(d Dir) int { return c.lanes[d].queuedBytes }
 
 // QueuedMessages reports messages waiting in direction d.
-func (c *Conn) QueuedMessages(d Dir) int { return len(c.lanes[d].queue) }
+func (c *Conn) QueuedMessages(d Dir) int { return c.lanes[d].queue.len() }
 
 // InFlight reports whether a message is currently transmitting in
 // direction d.
@@ -161,7 +172,7 @@ func (c *Conn) Close() {
 	c.closed = true
 	for _, l := range c.lanes {
 		c.path.unregister(l)
-		l.queue = nil
+		l.queue.reset()
 		l.queuedBytes = 0
 	}
 }
@@ -174,9 +185,20 @@ type lane struct {
 	model     protoModel
 	diskBound bool
 
-	queue       []*Message
+	queue       msgRing
 	queuedBytes int
 	busy        bool
+
+	// At most one message transmits at a time (busy gates maybeStart), so
+	// the sent event reads its subject from the lane instead of a closure.
+	// Deliveries overlap — a message propagates while the next transmits —
+	// so those ride through PostArg's timer-node argument. sentEvt and
+	// deliverEvt are bound once in NewConn; the per-message hot path
+	// allocates neither closures nor timer nodes (wheel clock, warm pool).
+	inflight        *Message
+	inflightDropped bool
+	sentEvt         func()
+	deliverEvt      func(any)
 
 	stats LaneStats
 
@@ -186,7 +208,7 @@ type lane struct {
 }
 
 // active reports whether the lane competes for link capacity.
-func (l *lane) active() bool { return l.busy || len(l.queue) > 0 }
+func (l *lane) active() bool { return l.busy || l.queue.len() > 0 }
 
 // cappedDemand is the model's demand clipped by every cap that applies to
 // this lane: the UDP policer for UDP-carried protocols, the UDT internal
@@ -226,11 +248,10 @@ func (l *lane) clipToCaps(d float64) float64 {
 // maybeStart begins transmitting the head-of-line message if the lane is
 // idle.
 func (l *lane) maybeStart() {
-	if l.busy || l.conn.closed || len(l.queue) == 0 {
+	if l.busy || l.conn.closed || l.queue.len() == 0 {
 		return
 	}
-	m := l.queue[0]
-	l.queue = l.queue[1:]
+	m := l.queue.pop()
 	l.queuedBytes -= m.Size
 	l.busy = true
 
@@ -260,30 +281,45 @@ func (l *lane) maybeStart() {
 	}
 	l.model.onTransmit(segs, losses, txTime, l.staticCap())
 
-	dropped := !l.model.reliable() && losses > 0
-	sim.Schedule(txTime, func() {
-		l.busy = false
-		if l.onSent != nil {
-			l.onSent(m)
+	l.inflight = m
+	l.inflightDropped = !l.model.reliable() && losses > 0
+	sim.Post(txTime, l.sentEvt)
+}
+
+// sent is the transmission-complete event for the lane's inflight message.
+// Inflight state is captured before onSent runs: the callback may Send,
+// re-entering maybeStart and restocking the lane.
+func (l *lane) sent() {
+	m, dropped := l.inflight, l.inflightDropped
+	l.inflight = nil
+	l.busy = false
+	if l.onSent != nil {
+		l.onSent(m)
+	}
+	if dropped {
+		l.stats.MsgsDropped++
+		l.stats.BytesDropped += int64(m.Size)
+		if l.onDrop != nil {
+			l.onDrop(m)
 		}
-		if dropped {
-			l.stats.MsgsDropped++
-			l.stats.BytesDropped += int64(m.Size)
-			if l.onDrop != nil {
-				l.onDrop(m)
-			}
-		} else {
-			sim.Schedule(path.propagationDelay(), func() {
-				m.DeliveredAt = sim.Now()
-				l.stats.MsgsDelivered++
-				l.stats.BytesDelivered += int64(m.Size)
-				if l.onDeliver != nil {
-					l.onDeliver(m)
-				}
-			})
-		}
-		l.maybeStart()
-	})
+	} else {
+		sim := l.conn.path.sim
+		sim.PostArg(l.conn.path.propagationDelay(), l.deliverEvt, m)
+	}
+	l.maybeStart()
+}
+
+// deliver is the far-end arrival event; the message travels through the
+// timer node's argument because several may be propagating at once.
+func (l *lane) deliver(arg any) {
+	m := arg.(*Message)
+	sim := l.conn.path.sim
+	m.DeliveredAt = time.Unix(0, sim.NowNanos()).UTC()
+	l.stats.MsgsDelivered++
+	l.stats.BytesDelivered += int64(m.Size)
+	if l.onDeliver != nil {
+		l.onDeliver(m)
+	}
 }
 
 // sampleBinomial draws the number of lost segments out of n with

@@ -1,0 +1,60 @@
+package netsim
+
+// msgRing is a FIFO of *Message backed by a power-of-two circular buffer.
+// It replaces the `queue = queue[1:]` slice idiom the lanes used to use,
+// which pinned the backing array's consumed prefix (the popped slots stay
+// reachable from the slice header, so delivered messages could not be
+// collected or recycled until the whole array was abandoned) and forced a
+// fresh allocation every time append caught up with the advancing offset.
+// The ring reuses its slots forever; steady-state push/pop performs no
+// allocation at any queue depth the lane has already seen.
+type msgRing struct {
+	buf  []*Message
+	head int
+	n    int
+}
+
+// push appends m at the tail, growing the buffer when full.
+func (r *msgRing) push(m *Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+// pop removes and returns the head message, or nil when empty. The vacated
+// slot is cleared so the ring never keeps a popped message alive.
+func (r *msgRing) pop() *Message {
+	if r.n == 0 {
+		return nil
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return m
+}
+
+// len reports the number of queued messages.
+func (r *msgRing) len() int { return r.n }
+
+// reset discards all queued messages and clears their slots.
+func (r *msgRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
+func (r *msgRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	next := make([]*Message, size)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = next, 0
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/kompics/kompicsmessaging-go/internal/core"
+)
+
+// topology.go builds the host-level connection graphs campaigns run over.
+// Hosts are numbered 0..H-1; logical endpoints (vnodes) are assigned to
+// hosts by id mod H, so with E a multiple of H every host carries E/H
+// vnodes. Each host-graph edge gets its own Path — with a DC profile drawn
+// round-robin from the paper's four geographic setups — and one duplex TCP
+// Conn.
+
+type topoKind int
+
+const (
+	topoGossip topoKind = iota // k-regular circulant: h → h+1 .. h+k (mod H)
+	topoStar                   // hub host 0, spokes 1..H-1; two-hop via hub
+	topoTree                   // rooted at 0, parent(h) = (h-1)/fanout
+)
+
+type topology struct {
+	kind   topoKind
+	hosts  int
+	degree int // gossip: forward offsets 1..degree
+	fanout int // tree
+	// conns layout:
+	//   gossip: conns[h*degree+j] joins h (A) to (h+j+1) mod hosts (B)
+	//   star:   conns[h-1] joins hub 0 (A) to spoke h (B), h >= 1
+	//   tree:   conns[h-1] joins parent(h) (A) to h (B), h >= 1
+	conns []*Conn
+}
+
+func buildTopology(sim *Sim, kind topoKind, hosts, degree, fanout int) *topology {
+	t := &topology{kind: kind, hosts: hosts, degree: degree, fanout: fanout}
+	profiles := Setups()
+	edge := 0
+	newConn := func(pick int) *Conn {
+		p := sim.NewPath(profiles[pick%len(profiles)])
+		return p.NewConn(core.TCP)
+	}
+	switch kind {
+	case topoGossip:
+		t.conns = make([]*Conn, hosts*degree)
+		for h := 0; h < hosts; h++ {
+			for j := 0; j < degree; j++ {
+				t.conns[h*degree+j] = newConn(edge)
+				edge++
+			}
+		}
+	case topoStar, topoTree:
+		t.conns = make([]*Conn, hosts-1)
+		for h := 1; h < hosts; h++ {
+			t.conns[h-1] = newConn(edge)
+			edge++
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unknown topology kind %d", kind))
+	}
+	return t
+}
+
+// parent returns a tree host's parent.
+func (t *topology) parent(h int) int { return (h - 1) / t.fanout }
+
+// next returns the connection, direction, and receiving host for the next
+// hop from host `from` toward host `to`. from != to; gossip callers route
+// only to adjacent hosts (the offset they drew).
+func (t *topology) next(from, to int) (*Conn, Dir, int) {
+	switch t.kind {
+	case topoGossip:
+		off := to - from
+		if off < 0 {
+			off += t.hosts
+		}
+		if off < 1 || off > t.degree {
+			panic(fmt.Sprintf("netsim: gossip hop %d->%d is not an edge", from, to))
+		}
+		return t.conns[from*t.degree+off-1], AtoB, to
+	case topoStar:
+		if from == 0 {
+			return t.conns[to-1], AtoB, to
+		}
+		return t.conns[from-1], BtoA, 0
+	case topoTree:
+		// Ancestor indices strictly decrease toward the root, so walking
+		// `to` upward either lands on `from` (descend to that child) or
+		// passes it (ascend to parent).
+		c := to
+		for c > from {
+			p := t.parent(c)
+			if p == from {
+				return t.conns[c-1], AtoB, c
+			}
+			c = p
+		}
+		return t.conns[from-1], BtoA, t.parent(from)
+	default:
+		panic("netsim: unknown topology kind")
+	}
+}
+
+// eachLane calls fn for every (conn, dir, receiving host) lane endpoint in
+// the topology, used to install delivery callbacks.
+func (t *topology) eachLane(fn func(c *Conn, d Dir, recvHost int)) {
+	switch t.kind {
+	case topoGossip:
+		for h := 0; h < t.hosts; h++ {
+			for j := 0; j < t.degree; j++ {
+				c := t.conns[h*t.degree+j]
+				fn(c, AtoB, (h+j+1)%t.hosts)
+				fn(c, BtoA, h)
+			}
+		}
+	case topoStar:
+		for h := 1; h < t.hosts; h++ {
+			fn(t.conns[h-1], AtoB, h)
+			fn(t.conns[h-1], BtoA, 0)
+		}
+	case topoTree:
+		for h := 1; h < t.hosts; h++ {
+			fn(t.conns[h-1], AtoB, h)
+			fn(t.conns[h-1], BtoA, t.parent(h))
+		}
+	}
+}

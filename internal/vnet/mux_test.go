@@ -1,0 +1,89 @@
+package vnet
+
+import "testing"
+
+func TestHostMuxDispatch(t *testing.T) {
+	var got []uint64
+	var fellBack []uint64
+	m := NewHostMux(func(v uint64, _ any) { fellBack = append(fellBack, v) })
+	m.Bind(7, func(v uint64, msg any) {
+		if msg != "hello" {
+			t.Fatalf("handler got %v, want hello", msg)
+		}
+		got = append(got, v)
+	})
+	if !m.Bound(7) || m.Bound(8) {
+		t.Fatalf("Bound() wrong: 7=%v 8=%v", m.Bound(7), m.Bound(8))
+	}
+	if !m.Dispatch(7, "hello") {
+		t.Fatal("Dispatch(7) = false, want true")
+	}
+	if m.Dispatch(8, "stray") {
+		t.Fatal("Dispatch(8) = true for unbound vnode")
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("handler calls = %v, want [7]", got)
+	}
+	if len(fellBack) != 1 || fellBack[0] != 8 {
+		t.Fatalf("fallback calls = %v, want [8]", fellBack)
+	}
+}
+
+func TestHostMuxUnbindAndNilFallback(t *testing.T) {
+	m := NewHostMux(nil)
+	calls := 0
+	m.Bind(1, func(uint64, any) { calls++ })
+	if m.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", m.Len())
+	}
+	m.Dispatch(1, nil)
+	m.Unbind(1)
+	if m.Dispatch(1, nil) { // dropped silently, no panic with nil fallback
+		t.Fatal("Dispatch after Unbind = true")
+	}
+	if calls != 1 || m.Len() != 0 {
+		t.Fatalf("calls = %d Len = %d, want 1 and 0", calls, m.Len())
+	}
+}
+
+func TestDenseHostMux(t *testing.T) {
+	const hosts = 4
+	var got, dead []uint64
+	// Host 1 of 4: owns ids 1, 5, 9, … with slot id/hosts.
+	m := NewDenseHostMux(3, func(v uint64) int { return int(v / hosts) },
+		func(v uint64, _ any) { dead = append(dead, v) })
+	h := func(v uint64, _ any) { got = append(got, v) }
+	m.Bind(1, h)
+	m.Bind(5, h)
+	if m.Len() != 2 || !m.Bound(5) || m.Bound(9) {
+		t.Fatalf("Len=%d Bound(5)=%v Bound(9)=%v", m.Len(), m.Bound(5), m.Bound(9))
+	}
+	if !m.Dispatch(5, nil) || m.Dispatch(9, nil) {
+		t.Fatal("Dispatch bound/unbound mismatch")
+	}
+	if m.Dispatch(13, nil) { // slot 3: out of range, falls back
+		t.Fatal("out-of-range Dispatch = true")
+	}
+	m.Unbind(5)
+	m.Unbind(5) // idempotent
+	if m.Len() != 1 || m.Dispatch(5, nil) {
+		t.Fatalf("after Unbind: Len=%d Bound(5)=%v", m.Len(), m.Bound(5))
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("handler calls = %v, want [5]", got)
+	}
+	if len(dead) != 3 || dead[0] != 9 || dead[1] != 13 || dead[2] != 5 {
+		t.Fatalf("fallback calls = %v, want [9 13 5]", dead)
+	}
+}
+
+func TestHostMuxRebindReplaces(t *testing.T) {
+	m := NewHostMux(nil)
+	which := 0
+	m.Bind(3, func(uint64, any) { which = 1 })
+	m.Bind(3, func(uint64, any) { which = 2 })
+	m.Dispatch(3, nil)
+	if which != 2 {
+		t.Fatalf("dispatched to handler %d, want 2", which)
+	}
+}
