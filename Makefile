@@ -11,6 +11,8 @@
 #                       "current" section of BENCH_udt.json
 #   make sim-campaign   run the large-scale netsim campaign on both event
 #                       cores and refresh BENCH_sim.json
+#   make soak           run the kmsoak chaos harness over real loopback
+#                       sockets (exit nonzero if any liveness gate trips)
 #   make bench          full benchmark sweep (figures + ablations)
 
 GO ?= go
@@ -29,7 +31,7 @@ FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole
 RECV_PKGS = ./internal/transport/ ./internal/core/ ./internal/vnet/
 RECV_RUN  = 'RecvOrder|DecodeStage|VNodeFanin'
 
-.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin sim-campaign
+.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin sim-campaign soak soak-smoke
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint -audit-ignores ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -107,6 +109,39 @@ sim-campaign:
 	$(SIM_BIN) $(SIM_FLAGS) -clock wheel | tee $(SIM_OUT)
 	$(GO) run ./cmd/benchjson -label current -out BENCH_sim.json < $(SIM_OUT)
 	@rm -f $(SIM_OUT) $(SIM_BIN)
+
+# soak runs the kmsoak chaos harness: real TCP/UDT/UDP loopback nodes
+# under a seeded fault campaign, gated on the liveness invariants (zero
+# leaked buffers, bounded + drained queues, every outage recovered in
+# budget, no goroutine growth). Scale through the environment:
+#
+#   make soak SOAK_DURATION=10m SOAK_SCHEDULE=mixed SOAK_NODES=5
+#
+SOAK_DURATION  ?= 60s
+SOAK_SEED      ?= 1
+SOAK_SCHEDULE  ?= rolling-outage
+SOAK_NODES     ?= 3
+SOAK_BASE_PORT ?= 17000
+SOAK_FLAGS     = -duration $(SOAK_DURATION) -seed $(SOAK_SEED) \
+                 -schedule $(SOAK_SCHEDULE) -nodes $(SOAK_NODES) \
+                 -base-port $(SOAK_BASE_PORT)
+
+soak:
+	$(GO) run ./cmd/kmsoak $(SOAK_FLAGS)
+
+# soak-smoke is the CI slice of the soak: a short rolling-outage run
+# that must pass, plan determinism (same seed twice -> identical event
+# log), and the induced-failure regressions (a deliberate buffer leak
+# and a permanent outage must each make the harness exit nonzero).
+soak-smoke:
+	$(GO) build -o ./kmsoak.bin ./cmd/kmsoak
+	./kmsoak.bin -print-plan $(SOAK_FLAGS) > soak-plan-a.txt
+	./kmsoak.bin -print-plan $(SOAK_FLAGS) > soak-plan-b.txt
+	diff soak-plan-a.txt soak-plan-b.txt
+	./kmsoak.bin $(SOAK_FLAGS) -duration 15s
+	! ./kmsoak.bin $(SOAK_FLAGS) -duration 8s -nodes 2 -base-port 17100 -induce leak
+	! ./kmsoak.bin $(SOAK_FLAGS) -duration 8s -nodes 2 -base-port 17200 -induce outage
+	@rm -f ./kmsoak.bin soak-plan-a.txt soak-plan-b.txt
 
 # test-recv runs the receive-path property suite (per-peer inbound FIFO,
 # at-most-once delivery, zero-leak teardown) race-enabled and repeated.

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/faults"
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// Schedule construction: each named campaign is sized to the run
+// duration so the last fault clears by about 70% of the run — the tail
+// is the recovery window, and an outage still unrecovered when the run
+// ends is an invariant violation, not a scheduling artifact.
+
+// scheduleNames lists the -schedule values, for usage text.
+const scheduleNames = "rolling-outage, stalls, blackhole, storm, mixed"
+
+// buildSchedule sizes the named campaign over targets for a run of d.
+func buildSchedule(name string, targets []faults.Target, d time.Duration) (*faults.Schedule, error) {
+	// active is the window faults may occupy; the rest is recovery tail.
+	active := d * 7 / 10
+	warmup := clampDur(d/20, 200*time.Millisecond, 2*time.Second)
+	s := faults.NewSchedule(name)
+	switch name {
+	case "rolling-outage":
+		s.Add(rollingOutage(targets, warmup, active))
+	case "stalls":
+		s.Add(faults.StallWindow{
+			Targets: targets[:1],
+			Start:   warmup,
+			Len:     clampDur(active/4, 200*time.Millisecond, 3*time.Second),
+			Jitter:  warmup / 2,
+		})
+	case "blackhole":
+		s.Add(faults.BlackholeWindow{
+			Targets: targets,
+			Proto:   wire.UDP,
+			Start:   warmup,
+			Len:     clampDur(active/3, 300*time.Millisecond, 5*time.Second),
+			Jitter:  warmup / 2,
+		})
+	case "storm":
+		s.Add(faults.ReconnectStorm{
+			Targets: targets,
+			Start:   warmup,
+			Pulses:  5,
+			Gap:     clampDur(active/12, 100*time.Millisecond, time.Second),
+			Jitter:  warmup / 2,
+		})
+	case "mixed":
+		s.Add(rollingOutage(targets, warmup, active/2))
+		s.Add(faults.BlackholeWindow{
+			Targets: targets[:1],
+			Proto:   wire.UDP,
+			Start:   warmup + active/2,
+			Len:     clampDur(active/6, 200*time.Millisecond, 2*time.Second),
+			Jitter:  warmup / 2,
+		})
+		s.Add(faults.ReconnectStorm{
+			Targets: targets[len(targets)-1:],
+			Start:   warmup + active*3/4,
+			Pulses:  3,
+			Gap:     clampDur(active/20, 100*time.Millisecond, 500*time.Millisecond),
+			Jitter:  warmup / 4,
+		})
+	default:
+		return nil, fmt.Errorf("unknown schedule %q (%s)", name, scheduleNames)
+	}
+	return s, nil
+}
+
+// rollingOutage fits one pass of full-peer outages into window, starting
+// at start: each peer is down for ~60% of its slot, with the remainder
+// split between recovery gap and jitter.
+func rollingOutage(targets []faults.Target, start, window time.Duration) faults.RollingOutage {
+	slot := window / time.Duration(len(targets))
+	outageLen := clampDur(slot*6/10, 200*time.Millisecond, 5*time.Second)
+	gap := clampDur(slot*2/10, 100*time.Millisecond, 2*time.Second)
+	return faults.RollingOutage{
+		Targets:   targets,
+		Start:     start,
+		OutageLen: outageLen,
+		Gap:       gap,
+		Jitter:    gap / 2,
+	}
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -20,6 +20,12 @@
 // Tests can call SetDebug(true) to track the number of outstanding
 // buffers (Gets minus Puts) and to poison returned buffers, catching both
 // leaks and use-after-Put bugs. See Outstanding.
+//
+// Independent of debug mode, the pool keeps always-on per-size-class
+// accounting (one uncontended atomic add per Get/Put): Account returns a
+// snapshot of gets, puts, and outstanding buffers by class, which is what
+// the soak harness's zero-leak invariant and the stats registry's bufpool
+// gauges read. See Account.
 package bufpool
 
 import (
@@ -50,6 +56,36 @@ var (
 	debug       atomic.Bool
 	outstanding atomic.Int64
 )
+
+// numClasses is the count of pooled size classes; accounting keeps one
+// extra slot (index numClasses) for unpooled traffic — requests above the
+// top class, which Get satisfies with plain make and Put drops.
+const numClasses = maxShift - minShift + 1
+
+// Always-on accounting: gets and puts per size class, plus the pooled
+// bytes.Buffer pair. Get charges the class the request routes to; Put
+// charges the class the returned capacity files under — for a buffer
+// whose capacity never changed between Get and Put these agree, so
+// per-class outstanding counts are exact on the wire hot path. A buffer
+// regrown by append between Get and Put may settle its Put against a
+// different class; the per-class numbers drift by the same amount in
+// opposite directions while the total stays balanced (one Put per Get).
+var (
+	classGets  [numClasses + 1]atomic.Uint64
+	classPuts  [numClasses + 1]atomic.Uint64
+	bufferGets atomic.Uint64
+	bufferPuts atomic.Uint64
+)
+
+// accountIndex maps a classFor/putClassFor result onto an accounting
+// slot: pooled classes keep their index, everything else files under the
+// unpooled slot.
+func accountIndex(c int) int {
+	if c < 0 || c >= numClasses {
+		return numClasses
+	}
+	return c
+}
 
 // classFor returns the smallest size class whose buffers hold n bytes, or
 // -1 when n is too large to pool.
@@ -88,6 +124,7 @@ func Get(n int) []byte {
 		outstanding.Add(1)
 	}
 	c := classFor(n)
+	classGets[accountIndex(c)].Add(1)
 	if c < 0 {
 		return make([]byte, n)
 	}
@@ -110,6 +147,7 @@ func Put(b []byte) {
 		poison(b)
 	}
 	c := putClassFor(cap(b))
+	classPuts[accountIndex(c)].Add(1)
 	if c < 0 {
 		return
 	}
@@ -141,6 +179,7 @@ func GetBuffer() *bytes.Buffer {
 	if debug.Load() {
 		outstanding.Add(1)
 	}
+	bufferGets.Add(1)
 	return bufferPool.Get().(*bytes.Buffer)
 }
 
@@ -150,6 +189,7 @@ func PutBuffer(b *bytes.Buffer) {
 	if debug.Load() {
 		outstanding.Add(-1)
 	}
+	bufferPuts.Add(1)
 	if b.Cap() > maxPooledBuffer {
 		return
 	}
@@ -172,3 +212,56 @@ func Outstanding() int64 { return outstanding.Load() }
 // ResetStats zeroes the outstanding counter (call before a leak-checked
 // test section).
 func ResetStats() { outstanding.Store(0) }
+
+// --- always-on accounting ---------------------------------------------------
+
+// ClassAccount is one size class's slice of the accounting snapshot.
+type ClassAccount struct {
+	// Size is the class capacity in bytes; 0 marks the unpooled slot
+	// (requests above the top class).
+	Size int
+	// Gets and Puts are cumulative since process start.
+	Gets, Puts uint64
+	// Outstanding is Gets − Puts: buffers drawn and not yet returned.
+	Outstanding int64
+}
+
+// Accounting is a point-in-time snapshot of the pool's buffer flow.
+// Because the counters are read class by class without a global lock, a
+// snapshot taken while the pool is hot can be skewed by in-flight
+// operations; totals are exact once the traffic that drew the buffers has
+// quiesced, which is when leak checks read them.
+type Accounting struct {
+	// Classes lists the pooled size classes in ascending size order,
+	// followed by the unpooled slot (Size 0).
+	Classes []ClassAccount
+	// Buffers tracks the pooled bytes.Buffer pair (GetBuffer/PutBuffer).
+	Buffers ClassAccount
+	// Outstanding is the total across every class and the Buffers slot.
+	Outstanding int64
+}
+
+// Account returns the current accounting snapshot. Unlike Outstanding it
+// needs no debug mode: the per-class counters are always on, costing one
+// uncontended atomic add per Get/Put. The soak harness diffs two
+// snapshots around a run to assert zero leaked buffers; the stats
+// registry exports the totals as gauges.
+func Account() Accounting {
+	a := Accounting{Classes: make([]ClassAccount, numClasses+1)}
+	for i := 0; i <= numClasses; i++ {
+		gets, puts := classGets[i].Load(), classPuts[i].Load()
+		size := 0
+		if i < numClasses {
+			size = 1 << (minShift + i)
+		}
+		a.Classes[i] = ClassAccount{
+			Size: size, Gets: gets, Puts: puts,
+			Outstanding: int64(gets) - int64(puts),
+		}
+		a.Outstanding += int64(gets) - int64(puts)
+	}
+	bg, bp := bufferGets.Load(), bufferPuts.Load()
+	a.Buffers = ClassAccount{Gets: bg, Puts: bp, Outstanding: int64(bg) - int64(bp)}
+	a.Outstanding += a.Buffers.Outstanding
+	return a
+}

@@ -136,6 +136,87 @@ func TestConcurrentGetPut(t *testing.T) {
 	wg.Wait()
 }
 
+// classAccountFor digs the accounting slot for a class size out of a
+// snapshot (0 = unpooled).
+func classAccountFor(t *testing.T, a Accounting, size int) ClassAccount {
+	t.Helper()
+	for _, c := range a.Classes {
+		if c.Size == size {
+			return c
+		}
+	}
+	t.Fatalf("no accounting slot for class size %d", size)
+	return ClassAccount{}
+}
+
+func TestAccountPerClassDeltas(t *testing.T) {
+	before := Account()
+	held := [][]byte{Get(1024), Get(1024), Get(4096)}
+	oversize := Get((1 << maxShift) + 1)
+	bb := GetBuffer()
+
+	mid := Account()
+	if d := mid.Outstanding - before.Outstanding; d != 5 {
+		t.Fatalf("outstanding delta = %d, want 5", d)
+	}
+	if d := classAccountFor(t, mid, 1024).Outstanding - classAccountFor(t, before, 1024).Outstanding; d != 2 {
+		t.Fatalf("1 KiB class delta = %d, want 2", d)
+	}
+	if d := classAccountFor(t, mid, 4096).Outstanding - classAccountFor(t, before, 4096).Outstanding; d != 1 {
+		t.Fatalf("4 KiB class delta = %d, want 1", d)
+	}
+	if d := classAccountFor(t, mid, 0).Outstanding - classAccountFor(t, before, 0).Outstanding; d != 1 {
+		t.Fatalf("unpooled delta = %d, want 1", d)
+	}
+	if d := mid.Buffers.Outstanding - before.Buffers.Outstanding; d != 1 {
+		t.Fatalf("bytes.Buffer delta = %d, want 1", d)
+	}
+
+	for _, b := range held {
+		Put(b)
+	}
+	Put(oversize)
+	PutBuffer(bb)
+	after := Account()
+	if d := after.Outstanding - before.Outstanding; d != 0 {
+		t.Fatalf("outstanding delta after full cycle = %d, want 0", d)
+	}
+}
+
+// TestAccountWithoutDebugMode pins the satellite requirement: accounting
+// works with debug mode off (the soak harness never enables poisoning).
+func TestAccountWithoutDebugMode(t *testing.T) {
+	SetDebug(false)
+	before := Account()
+	b := Get(2048)
+	if d := Account().Outstanding - before.Outstanding; d != 1 {
+		t.Fatalf("delta with debug off = %d, want 1", d)
+	}
+	Put(b)
+	if d := Account().Outstanding - before.Outstanding; d != 0 {
+		t.Fatalf("delta after Put = %d, want 0", d)
+	}
+}
+
+func TestAccountConcurrent(t *testing.T) {
+	before := Account()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := Get((seed*13+i*7)%(32<<10) + 1)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := Account().Outstanding - before.Outstanding; d != 0 {
+		t.Fatalf("outstanding delta after balanced concurrent cycles = %d, want 0", d)
+	}
+}
+
 func BenchmarkGetPut(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -12,6 +12,7 @@ import (
 	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
 	"github.com/kompics/kompicsmessaging-go/internal/kompics"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
 	"github.com/kompics/kompicsmessaging-go/internal/transport"
 )
 
@@ -95,6 +96,14 @@ type NetworkConfig struct {
 	DecodeInflight int
 	// Transport tunes the underlying endpoint (UDT config, frame limit).
 	Transport transport.Config
+	// Metrics, when set, receives this network's runtime metrics: status
+	// transition counters and gauges over the transport's queue depths
+	// and inbound registry. Several Network instances (one per node in a
+	// soak run) may share one registry, distinguished by MetricsPrefix.
+	Metrics *stats.Registry
+	// MetricsPrefix namespaces this network's metric names (e.g.
+	// "node0."). Empty is fine for a single network per registry.
+	MetricsPrefix string
 	// Logger receives diagnostics (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -248,6 +257,7 @@ func (n *Network) Init(ctx *kompics.Context) {
 	ctx.SubscribeSelf(statusInbound{}, func(e kompics.Event) {
 		n.publishStatus(e.(statusInbound).ev)
 	})
+	n.registerMetrics()
 
 	// Endpoints are single-use: each Start builds a fresh one, so the
 	// component can be stopped and restarted (listeners re-bind). The

@@ -19,11 +19,18 @@ var NetworkStatusPort = kompics.NewPortType("NetworkStatus").
 	Indication(ChannelRetry{}).
 	Indication(TransportFallback{})
 
+// Status events carry At, the instant the transport emitted them, read
+// from the endpoint's injectable clock — so a consumer measures per-peer
+// recovery latency (ChannelDown.At → ChannelUp.At) without ever reading
+// the wall clock, and tests on a virtual clock get exact arithmetic: the
+// gap equals precisely the backoff delays the test advanced through.
+
 // ChannelUp reports an outgoing channel established (first dial or a
 // successful redial).
 type ChannelUp struct {
 	Proto Transport
 	Dest  string
+	At    time.Time
 }
 
 // ChannelDown reports an outgoing channel losing its connection. If
@@ -32,6 +39,7 @@ type ChannelUp struct {
 type ChannelDown struct {
 	Proto Transport
 	Dest  string
+	At    time.Time
 	Err   error
 }
 
@@ -42,6 +50,7 @@ type ChannelRetry struct {
 	Dest      string
 	Attempt   int
 	NextDelay time.Duration
+	At        time.Time
 	Err       error
 }
 
@@ -53,6 +62,7 @@ type TransportFallback struct {
 	To     Transport
 	Dest   string
 	ToDest string
+	At     time.Time
 	Err    error
 }
 
@@ -66,20 +76,21 @@ func (n *Network) StatusPort() *kompics.Port { return n.statusPort }
 // publishStatus maps a transport supervision event to its port
 // indication. Runs in component context.
 func (n *Network) publishStatus(ev transport.StatusEvent) {
+	n.countStatus(ev.Kind)
 	switch ev.Kind {
 	case transport.StatusUp:
-		n.ctx.Trigger(ChannelUp{Proto: ev.Proto, Dest: ev.Dest}, n.statusPort)
+		n.ctx.Trigger(ChannelUp{Proto: ev.Proto, Dest: ev.Dest, At: ev.At}, n.statusPort)
 	case transport.StatusDown:
-		n.ctx.Trigger(ChannelDown{Proto: ev.Proto, Dest: ev.Dest, Err: ev.Err}, n.statusPort)
+		n.ctx.Trigger(ChannelDown{Proto: ev.Proto, Dest: ev.Dest, At: ev.At, Err: ev.Err}, n.statusPort)
 	case transport.StatusRetry:
 		n.ctx.Trigger(ChannelRetry{
 			Proto: ev.Proto, Dest: ev.Dest,
-			Attempt: ev.Attempt, NextDelay: ev.NextDelay, Err: ev.Err,
+			Attempt: ev.Attempt, NextDelay: ev.NextDelay, At: ev.At, Err: ev.Err,
 		}, n.statusPort)
 	case transport.StatusFallback:
 		n.ctx.Trigger(TransportFallback{
 			From: ev.Proto, To: ev.To,
-			Dest: ev.Dest, ToDest: ev.ToDest, Err: ev.Err,
+			Dest: ev.Dest, ToDest: ev.ToDest, At: ev.At, Err: ev.Err,
 		}, n.statusPort)
 	}
 }

@@ -230,6 +230,16 @@ func TestNetworkStatusOutageAndRecovery(t *testing.T) {
 		t.Fatalf("revival up event %+v", up)
 	}
 
+	// Status events are stamped from the injectable clock, so on a
+	// virtual clock recovery latency is exact arithmetic: the down→up gap
+	// equals precisely the two backoff delays the test advanced through.
+	if up.At.IsZero() || down.At.IsZero() {
+		t.Fatalf("status events missing timestamps: down=%v up=%v", down.At, up.At)
+	}
+	if got, want := up.At.Sub(down.At), r1.NextDelay+r2.NextDelay; got != want {
+		t.Fatalf("recovery latency = %v, want the advanced backoffs %v", got, want)
+	}
+
 	a.send(NotifyReq{ID: 3, Msg: msg("after")})
 	if r := awaitNotify(t, a.app.notifyCh); r.ID != 3 || !r.Sent() {
 		t.Fatalf("send after revival: %+v", r)

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a concurrent, HDR-style log-bucketed histogram: values are
+// filed into buckets whose width grows with magnitude, so p50/p99/p99.9
+// come out of a fixed 16 KiB footprint without storing samples — the
+// property a soak run recording millions of latencies needs. Record is
+// one atomic add on a bucket plus a handful of atomic updates for the
+// summary fields; there is no lock anywhere, so the transport and status
+// paths can feed it directly.
+//
+// Precision: each power of two is split into 2^histSubBits sub-buckets,
+// bounding the relative quantile error at 1/2^histSubBits (≈3% with 5
+// sub-bucket bits) — the same mantissa/exponent scheme HdrHistogram uses.
+// Values below 2^histSubBits are exact (their own bucket each).
+//
+// The zero value is ready to use. Negative values are clamped to zero
+// (durations are never negative; a clamp beats a panic in a hot path).
+type Histogram struct {
+	counts [histBucketCount]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored negated so zero-value means "unset"
+}
+
+const (
+	// histSubBits is the sub-bucket resolution: 2^5 = 32 sub-buckets per
+	// power of two, ≈3% worst-case relative error.
+	histSubBits = 5
+	histSubMask = (1 << histSubBits) - 1
+	// histBucketCount covers the full non-negative int64 range: values
+	// below 2^histSubBits map to their own bucket, every higher power of
+	// two contributes 2^histSubBits sub-buckets.
+	histBucketCount = (64 - histSubBits + 1) << histSubBits
+)
+
+// histIndex maps a non-negative value onto its bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < 1<<histSubBits {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // position of the top bit, ≥ histSubBits
+	sub := int((u >> (uint(e) - histSubBits)) & histSubMask)
+	return ((e - histSubBits + 1) << histSubBits) | sub
+}
+
+// histValue returns the representative (upper-edge) value of a bucket, so
+// quantile estimates err on the conservative side.
+func histValue(idx int) int64 {
+	if idx < 1<<histSubBits {
+		return int64(idx)
+	}
+	e := uint(idx>>histSubBits) + histSubBits - 1
+	sub := uint64(idx&histSubMask) | (1 << histSubBits)
+	// Upper edge of the bucket: next sub-bucket boundary minus one.
+	return int64((sub+1)<<(e-histSubBits)) - 1
+}
+
+// Record files one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && -cur <= v) || h.min.CompareAndSwap(cur, -v-1) {
+			break
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to
+// query while the live histogram keeps recording. Snapshots taken during
+// concurrent recording are not a single atomic cut — counts may be ahead
+// of or behind the summary fields by in-flight observations — which is
+// fine for monitoring and exact once recording has quiesced.
+type HistogramSnapshot struct {
+	counts [histBucketCount]uint64
+	// Count and Sum aggregate every recorded observation.
+	Count uint64
+	Sum   int64
+	// Min and Max are the observed extremes (both 0 when empty).
+	Min, Max int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if negMin := h.min.Load(); negMin != 0 {
+		s.Min = -negMin - 1
+	}
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the value at the q-quantile (0 ≤ q ≤ 1) as the upper
+// edge of the bucket holding that rank — within one bucket width (≈3%) of
+// the true order statistic. Zero for an empty snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the smallest value sits at rank 1.
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var seen uint64
+	for i := range s.counts {
+		seen += s.counts[i]
+		if seen >= rank {
+			v := histValue(i)
+			if v > s.Max {
+				// The top bucket's upper edge can overshoot the true
+				// maximum; never report beyond an observed value.
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile is a convenience one-shot: snapshot, then query.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}

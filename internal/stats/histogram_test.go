@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it: the
+	// bucket's upper edge is >= v, and the previous bucket's upper edge
+	// is < v.
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 100, 1000, 4095, 4096,
+		1 << 20, (1 << 20) + 1, 1<<40 + 12345, 1<<62 + 999, 1<<63 - 1}
+	for _, v := range values {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBucketCount {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		if upper := histValue(idx); upper < v {
+			t.Errorf("histValue(histIndex(%d)) = %d < value", v, upper)
+		}
+		if idx > 0 {
+			if prev := histValue(idx - 1); prev >= v {
+				t.Errorf("value %d: previous bucket edge %d >= value", v, prev)
+			}
+		}
+	}
+}
+
+func TestHistIndexExactBelowSubBuckets(t *testing.T) {
+	for v := int64(0); v < 1<<histSubBits; v++ {
+		if got := histValue(histIndex(v)); got != v {
+			t.Fatalf("small value %d mapped to bucket edge %d, want exact", v, got)
+		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 10, 0, 100, 7} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 122 {
+		t.Errorf("Sum = %d, want 122", s.Sum)
+	}
+	if s.Min != 0 {
+		t.Errorf("Min = %d, want 0", s.Min)
+	}
+	if s.Max != 100 {
+		t.Errorf("Max = %d, want 100", s.Max)
+	}
+	if mean := s.Mean(); mean != 122.0/5 {
+		t.Errorf("Mean = %v, want %v", mean, 122.0/5)
+	}
+}
+
+func TestHistogramMinWithoutZero(t *testing.T) {
+	// The negated-min encoding must distinguish "no samples" from "min is
+	// zero" — and report a real nonzero min when zero never occurred.
+	var h Histogram
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Count != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	h.Record(42)
+	h.Record(17)
+	if s := h.Snapshot(); s.Min != 17 {
+		t.Errorf("Min = %d, want 17", s.Min)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Against a stored-sample baseline the histogram quantile must stay
+	// within one sub-bucket (≈3% relative) of the true order statistic.
+	rng := rand.New(rand.NewSource(9))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform-ish spread: exercise many exponents.
+		v := int64(1) << uint(rng.Intn(24))
+		v += rng.Int63n(v + 1)
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := s.Quantile(q)
+		// Upper-edge buckets: the estimate may exceed the exact order
+		// statistic by one bucket width but never undershoot below the
+		// bucket containing it.
+		lo := exact - exact>>histSubBits - 1
+		hi := exact + exact>>(histSubBits-1) + 1
+		if got < lo || got > hi {
+			t.Errorf("q=%v: got %d, exact %d (allowed [%d,%d])", q, got, exact, lo, hi)
+		}
+	}
+	if s.Quantile(1) > s.Max {
+		t.Errorf("Quantile(1) = %d exceeds observed max %d", s.Quantile(1), s.Max)
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(777)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 777 {
+			t.Errorf("Quantile(%v) = %d, want 777 (clamped to max)", q, got)
+		}
+	}
+}
+
+func TestRecordNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Count != 1 {
+		t.Fatalf("negative record: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent is the -race hot-path test from the satellite:
+// concurrent Record against concurrent Snapshot, then exact totals after
+// the recording quiesces.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Record(rng.Int63n(1 << 20))
+			}
+		}(int64(g))
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketSum uint64
+	for _, c := range s.counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = (v*1664525 + 1013904223) & (1<<30 - 1)
+		}
+	})
+}

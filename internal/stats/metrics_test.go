@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("msgs")
+	c1.Add(3)
+	if c2 := r.Counter("msgs"); c2 != c1 || c2.Load() != 3 {
+		t.Fatalf("second Counter(msgs) did not return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if r.Gauge("depth").Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", r.Gauge("depth").Load())
+	}
+	h := r.Histogram("rtt")
+	h.Record(10)
+	if r.Histogram("rtt").Count() != 1 {
+		t.Fatal("second Histogram(rtt) is a different histogram")
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sent").Add(11)
+	r.Gauge("queue").Set(-4)
+	r.GaugeFunc("outstanding", func() int64 { return 42 })
+	r.Histogram("lat").Record(100)
+	snap := r.Snapshot()
+	if v, ok := snap["sent"].(uint64); !ok || v != 11 {
+		t.Errorf("sent = %v", snap["sent"])
+	}
+	if v, ok := snap["queue"].(int64); !ok || v != -4 {
+		t.Errorf("queue = %v", snap["queue"])
+	}
+	if v, ok := snap["outstanding"].(int64); !ok || v != 42 {
+		t.Errorf("outstanding = %v", snap["outstanding"])
+	}
+	he, ok := snap["lat"].(HistogramExport)
+	if !ok || he.Count != 1 || he.P99 != 100 {
+		t.Errorf("lat = %+v", snap["lat"])
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Inc()
+	r.Histogram("lat").Record(250)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got["reqs"] != float64(1) {
+		t.Errorf("reqs = %v", got["reqs"])
+	}
+	lat, ok := got["lat"].(map[string]interface{})
+	if !ok || lat["p99"] != float64(250) {
+		t.Errorf("lat = %v", got["lat"])
+	}
+}
+
+func TestWriteTextSortedDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("c").Set(3)
+	var sb1, sb2 strings.Builder
+	if err := r.WriteText(&sb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Fatalf("WriteText not deterministic:\n%s\nvs\n%s", sb1.String(), sb2.String())
+	}
+	lines := strings.Split(strings.TrimSpace(sb1.String()), "\n")
+	want := []string{"a 1", "b 2", "c 3"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	// Double publish on the same registry, and a second registry under the
+	// same name, must both be no-ops instead of expvar panics.
+	r.PublishExpvar("stats_test_metrics")
+	r.PublishExpvar("stats_test_metrics")
+	NewRegistry().PublishExpvar("stats_test_metrics")
+}
+
+// TestCountersConcurrent is the -race counter hot-path test: concurrent
+// Add/Set/Record against Snapshot, exact totals once writers are done.
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 4000
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Get-or-create raced across goroutines on purpose.
+				r.Counter("ops").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+				r.Histogram("lat").Record(id*100 + int64(i%50))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	if got := r.Counter("ops").Load(); got != goroutines*perG {
+		t.Errorf("ops = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("depth").Load(); got != 0 {
+		t.Errorf("depth = %d, want 0", got)
+	}
+	if got := r.Histogram("lat").Count(); got != goroutines*perG {
+		t.Errorf("lat count = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -155,6 +155,36 @@ func (e *Endpoint) InboundDeaths(proto wire.Transport, peer string) uint64 {
 	return s.deaths[inKey{proto: proto, peer: peer}]
 }
 
+// InboundSummary aggregates the whole inbound registry: live stream
+// connections, the frames and bytes they have delivered, and lifetime
+// peer deaths — the receive-side feed for the stats registry.
+type InboundSummary struct {
+	Conns  int
+	Frames uint64
+	Bytes  uint64
+	Deaths uint64
+}
+
+// InboundTotals sums every shard's live-connection counters and death
+// counts. Per-connection counters are atomics, so the only locking is
+// one pass over the shard mutexes.
+func (e *Endpoint) InboundTotals() InboundSummary {
+	var t InboundSummary
+	for _, s := range e.recvShards {
+		s.mu.Lock()
+		t.Conns += len(s.conns)
+		for ic := range s.conns {
+			t.Frames += ic.frames.Load()
+			t.Bytes += ic.bytes.Load()
+		}
+		for _, d := range s.deaths {
+			t.Deaths += d
+		}
+		s.mu.Unlock()
+	}
+	return t
+}
+
 // InboundStats sums live-connection counters for (proto, peer): the
 // number of currently registered connections and the frames and bytes
 // they have delivered so far.

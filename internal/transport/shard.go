@@ -100,6 +100,43 @@ func (e *Endpoint) numChannels() int {
 	return n
 }
 
+// QueueTotals summarises the outgoing registry at one instant: how many
+// channels are registered, how many messages sit queued across them, and
+// the deepest single queue — the numbers the soak harness's
+// bounded-queue invariant and the stats registry's gauges read.
+type QueueTotals struct {
+	Channels int
+	Queued   int
+	MaxDepth int
+}
+
+// QueueStats walks the outgoing registry and sums queue depths. To keep
+// the lock-order discipline (never nest a shard mutex and a channel
+// mutex), each stripe's channel pointers are collected under the shard
+// lock and the queues are measured after it is released; the result is a
+// consistent-enough monitoring snapshot, not an atomic cut.
+func (e *Endpoint) QueueStats() QueueTotals {
+	var chans []*outChannel
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, c := range s.channels {
+			chans = append(chans, c)
+		}
+		s.mu.Unlock()
+	}
+	t := QueueTotals{Channels: len(chans)}
+	for _, c := range chans {
+		c.mu.Lock()
+		depth := len(c.queue)
+		c.mu.Unlock()
+		t.Queued += depth
+		if depth > t.MaxDepth {
+			t.MaxDepth = depth
+		}
+	}
+	return t
+}
+
 // findChannel returns the registered channel for (proto, dest), or nil.
 func (e *Endpoint) findChannel(proto wire.Transport, dest string) *outChannel {
 	s := e.shardFor(proto, dest)

@@ -87,6 +87,11 @@ type StatusEvent struct {
 	Kind  StatusKind
 	Proto wire.Transport
 	Dest  string
+	// At is the event's timestamp, read from the endpoint's injectable
+	// clock (Config.Clock) at emit time — never from the wall clock — so
+	// recovery latency (Down → Up) is measurable in tests that drive a
+	// virtual clock: the difference equals exactly the advanced backoff.
+	At time.Time
 	// Attempt counts consecutive failed dials (1-based), NextDelay is
 	// the backoff before the next; set on StatusRetry.
 	Attempt   int
@@ -107,5 +112,6 @@ func (c *outChannel) emit(ev StatusEvent) {
 	}
 	ev.Proto = c.key.proto
 	ev.Dest = c.key.dest
+	ev.At = c.ep.cfg.Clock.Now()
 	c.ep.cfg.OnStatus(ev)
 }
