@@ -31,7 +31,11 @@ FAULT_RUN  = 'Fault|Supervis|Fallback|Overflow|PeerDeath|Revival|Stall|Blackhole
 RECV_PKGS = ./internal/transport/ ./internal/core/ ./internal/vnet/
 RECV_RUN  = 'RecvOrder|DecodeStage|VNodeFanin'
 
-.PHONY: check test test-faults test-recv build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin sim-campaign soak soak-smoke
+QOS_PKGS = ./internal/transport/ ./internal/core/ ./internal/data/
+QOS_RUN  = 'QoS'
+QOS_OUT  = BENCH_qos.out
+
+.PHONY: check test test-faults test-recv test-qos build vet lint bench bench-hotpath bench-udt bench-shard bench-fanin bench-qos sim-campaign soak soak-smoke
 
 check:
 	$(GO) vet ./... && $(GO) run ./cmd/kmlint -audit-ignores ./... && $(GO) build ./... && $(GO) test -race ./...
@@ -147,6 +151,20 @@ soak-smoke:
 # at-most-once delivery, zero-leak teardown) race-enabled and repeated.
 test-recv:
 	$(GO) test -race -count=3 -run $(RECV_RUN) $(RECV_PKGS)
+
+# test-qos runs the QoS / queue-policy suite (header wire compatibility,
+# per-(peer,class) FIFO properties, value-of-update shedding, deadline
+# reconnect drain, drop-rate reward) race-enabled and repeated.
+test-qos:
+	$(GO) test -race -count=3 -run $(QOS_RUN) $(QOS_PKGS)
+
+# bench-qos reruns the queue-policy overload benchmarks (saturated-channel
+# push cost per policy; steady-state drops must be alloc-free) and
+# refreshes the "current" section of BENCH_qos.json.
+bench-qos:
+	$(GO) test -bench QueuePolicy -run '^$$' -benchmem ./internal/transport/ | tee $(QOS_OUT)
+	$(GO) run ./cmd/benchjson -label current -out BENCH_qos.json < $(QOS_OUT)
+	@rm -f $(QOS_OUT)
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -33,9 +33,10 @@ type cluster struct {
 	nodes []*node
 	reg   *stats.Registry
 
-	pingers []*pingpong.Pinger
-	xfer    *xferDriver
-	relay   *relayDriver
+	pingers   []*pingpong.Pinger
+	xfer      *xferDriver
+	relay     *relayDriver
+	telemetry *telemetryDriver
 }
 
 // clusterConfig parameterises boot.
@@ -46,6 +47,10 @@ type clusterConfig struct {
 	inj      *faults.Injector
 	reg      *stats.Registry
 	duration time.Duration
+	// policy and maxPending configure every node's transport pending
+	// queue (-queue-policy / -max-pending).
+	policy     transport.QueuePolicy
+	maxPending int
 }
 
 // targetsOf lists the schedule targets: per node, the wire destinations
@@ -95,9 +100,11 @@ func boot(cfg clusterConfig) (*cluster, error) {
 				// falling back to TCP mid-campaign), and a short backoff
 				// ceiling keeps recovery latency dominated by the outage
 				// window rather than the last doubling.
-				MaxDialAttempts:  1 << 20,
-				RedialBackoffMax: time.Second,
-				BackoffSeed:      cfg.seed + int64(i),
+				MaxDialAttempts:   1 << 20,
+				RedialBackoffMax:  time.Second,
+				BackoffSeed:       cfg.seed + int64(i),
+				QueuePolicy:       cfg.policy,
+				MaxPendingPerPeer: cfg.maxPending,
 			},
 		})
 		if err != nil {
@@ -219,6 +226,23 @@ func (c *cluster) startWorkloads(cfg clusterConfig) error {
 	kompics.MustConnect(first.net.Port(), c.relay.netPort)
 	first.sys.Start(relayComp)
 	c.relay.comp.SelfTrigger(relayTick{})
+
+	// QoS telemetry node0 → node1 over TCP: keyed, deadlined sensor
+	// updates at a rate an outage window cannot absorb, so the configured
+	// queue policy decides what reaches the wire. Under -queue-policy
+	// latest-value the coalesce counters climb while the freshest value
+	// per key still arrives; under reject the queue-full counters climb
+	// instead.
+	telemTo := c.nodes[1%len(c.nodes)]
+	tr := newTelemetryReceiver(c.reg)
+	trComp := telemTo.sys.Create(tr)
+	kompics.MustConnect(telemTo.net.Port(), tr.netPort)
+	telemTo.sys.Start(trComp)
+	c.telemetry = newTelemetryDriver(c.reg, first.self, telemTo.self)
+	tdComp := first.sys.Create(c.telemetry)
+	kompics.MustConnect(first.net.Port(), c.telemetry.netPort)
+	first.sys.Start(tdComp)
+	c.telemetry.comp.SelfTrigger(telemetryTick{})
 	return nil
 }
 
@@ -227,6 +251,7 @@ func (c *cluster) startWorkloads(cfg clusterConfig) error {
 func (c *cluster) stopTraffic() {
 	c.xfer.stopped.Store(true)
 	c.relay.stopped.Store(true)
+	c.telemetry.stopped.Store(true)
 }
 
 // quiesce drains every node's component queues.
@@ -391,6 +416,85 @@ const relayInterval = 100 * time.Millisecond
 
 func newRelayDriver(reg *stats.Registry, self core.Address, hops []core.Address) *relayDriver {
 	return &relayDriver{reg: reg, self: self, hops: hops}
+}
+
+// telemetryDriver emits bursts of keyed sensor updates as ClassTelemetry
+// DataMsgs: telemetryKeys keys per burst, one burst per telemetryInterval,
+// each update carrying a latest-value key ("sensorN") and an absolute
+// deadline telemetryDeadline out. While the destination channel rides an
+// outage the bursts pile into the pending queue faster than any backlog
+// drain can clear, which is exactly the overload the queue policies
+// differ on.
+type telemetryDriver struct {
+	netPort *kompics.Port
+	comp    *kompics.Component
+	reg     *stats.Registry
+	self    core.Address
+	dest    core.Address
+	seq     uint64
+	stopped atomic.Bool
+}
+
+type telemetryTick struct{}
+
+const (
+	telemetryInterval = 20 * time.Millisecond
+	telemetryKeys     = 8
+	telemetryDeadline = 500 * time.Millisecond
+)
+
+func newTelemetryDriver(reg *stats.Registry, self, dest core.Address) *telemetryDriver {
+	return &telemetryDriver{reg: reg, self: self, dest: dest}
+}
+
+func (d *telemetryDriver) Init(ctx *kompics.Context) {
+	d.comp = ctx.Component()
+	d.netPort = ctx.Requires(core.NetworkPort)
+	ctx.SubscribeSelf(telemetryTick{}, func(kompics.Event) {
+		if d.stopped.Load() {
+			return
+		}
+		deadline := ctx.System().Clock().Now().Add(telemetryDeadline).UnixNano()
+		for i := 0; i < telemetryKeys; i++ {
+			d.seq++
+			msg := &core.DataMsg{
+				Hdr: core.NewHeader(d.self, d.dest, core.TCP).WithQoS(core.QoS{
+					Class:    core.ClassTelemetry,
+					Key:      fmt.Sprintf("sensor%d", i),
+					Deadline: deadline,
+				}),
+				Payload: []byte(fmt.Sprintf("reading %d", d.seq)),
+			}
+			d.reg.Counter("telemetry_sent_total").Inc()
+			ctx.Trigger(msg, d.netPort)
+		}
+		ctx.System().Clock().AfterFunc(telemetryInterval, func() {
+			d.comp.SelfTrigger(telemetryTick{})
+		})
+	})
+}
+
+// telemetryReceiver counts telemetry-class DataMsgs arriving at the sink
+// node; the gate report compares the count against telemetry_sent_total
+// to compute the effective drop rate.
+type telemetryReceiver struct {
+	netPort *kompics.Port
+	reg     *stats.Registry
+}
+
+func newTelemetryReceiver(reg *stats.Registry) *telemetryReceiver {
+	return &telemetryReceiver{reg: reg}
+}
+
+func (r *telemetryReceiver) Init(ctx *kompics.Context) {
+	r.netPort = ctx.Requires(core.NetworkPort)
+	ctx.Subscribe(r.netPort, (*core.Msg)(nil), func(e kompics.Event) {
+		m, ok := e.(*core.DataMsg)
+		if !ok || m.Hdr.QoS.Class != core.ClassTelemetry {
+			return
+		}
+		r.reg.Counter("telemetry_recv_total").Inc()
+	})
 }
 
 func (d *relayDriver) Init(ctx *kompics.Context) {

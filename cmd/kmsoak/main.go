@@ -36,6 +36,7 @@ import (
 	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/faults"
 	"github.com/kompics/kompicsmessaging-go/internal/stats"
+	"github.com/kompics/kompicsmessaging-go/internal/transport"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
 
@@ -59,6 +60,8 @@ func run(args []string) (int, error) {
 	scheduleName := fs.String("schedule", "rolling-outage", "fault campaign: "+scheduleNames)
 	basePort := fs.Int("base-port", 17000, "first port; each node takes two (TCP/UDP and UDT)")
 	budget := fs.Duration("recovery-budget", 10*time.Second, "max allowed down→up recovery latency")
+	policyName := fs.String("queue-policy", "reject", "transport queue policy: reject | drop-oldest | latest-value | deadline")
+	maxPending := fs.Int("max-pending", 4096, "per-channel pending-queue bound (MaxPendingPerPeer)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars here (empty = off)")
 	induce := fs.String("induce", "", "deliberately break an invariant: leak | outage (CI regression)")
 	printPlan := fs.Bool("print-plan", false, "print the planned schedule event log and exit")
@@ -68,6 +71,14 @@ func run(args []string) (int, error) {
 	}
 	if *nodes < 2 {
 		return 2, fmt.Errorf("-nodes must be at least 2")
+	}
+
+	policy, err := transport.PolicyByName(*policyName)
+	if err != nil {
+		return 2, err
+	}
+	if *maxPending <= 0 {
+		return 2, fmt.Errorf("-max-pending must be positive")
 	}
 
 	targets := targetsOf(*basePort, *nodes)
@@ -108,11 +119,12 @@ func run(args []string) (int, error) {
 		defer srv.Close()
 	}
 
-	fmt.Printf("kmsoak: %d nodes on 127.0.0.1:%d+, schedule=%s seed=%d duration=%v\n",
-		*nodes, *basePort, *scheduleName, *seed, *duration)
+	fmt.Printf("kmsoak: %d nodes on 127.0.0.1:%d+, schedule=%s seed=%d duration=%v queue-policy=%s\n",
+		*nodes, *basePort, *scheduleName, *seed, *duration, policy.Name())
 	c, err := boot(clusterConfig{
 		nodes: *nodes, basePort: *basePort, seed: *seed,
 		inj: inj, reg: reg, duration: *duration + 15*time.Second,
+		policy: policy, maxPending: *maxPending,
 	})
 	if err != nil {
 		return 2, err
@@ -174,8 +186,7 @@ wait:
 
 	// The gates. Collect every violation, then report them all.
 	var failures []error
-	maxPending := 4096 // transport default MaxPendingPerPeer
-	if err := monitor.check(maxPending); err != nil {
+	if err := monitor.check(*maxPending); err != nil {
 		failures = append(failures, err)
 	}
 	expectOutages := *scheduleName == "rolling-outage" || *scheduleName == "storm" || *scheduleName == "mixed"
@@ -187,6 +198,7 @@ wait:
 	}
 
 	summary(reg, runner, *verbose)
+	dropReport(c, reg, policy.Name())
 
 	// Shut everything down, then the zero-leak gate: after teardown every
 	// pooled buffer must be home.
@@ -241,4 +253,33 @@ func summary(reg *stats.Registry, runner *faults.Runner, verbose bool) {
 		fmt.Println("--- metrics ---")
 		_ = reg.WriteText(os.Stdout)
 	}
+}
+
+// dropReport prints the queue-policy drop accounting for the gate report:
+// totals by reason summed over the cluster, and the telemetry workload's
+// send/receive balance with the effective drop rate — the number the
+// reject-vs-latest-value comparisons in EXPERIMENTS.md read.
+func dropReport(c *cluster, reg *stats.Registry, policyName string) {
+	var drops, telem transport.PolicyDrops
+	for _, n := range c.nodes {
+		t := n.net.DropStats()
+		s := t.Sum()
+		drops.Full += s.Full
+		drops.Coalesced += s.Coalesced
+		drops.Expired += s.Expired
+		tc := t.PerClass[wire.ClassTelemetry]
+		telem.Full += tc.Full
+		telem.Coalesced += tc.Coalesced
+		telem.Expired += tc.Expired
+	}
+	sent := reg.Counter("telemetry_sent_total").Load()
+	recv := reg.Counter("telemetry_recv_total").Load()
+	rate := 0.0
+	if sent > 0 {
+		rate = float64(telem.Total()) / float64(sent)
+	}
+	fmt.Printf("kmsoak: queue-policy=%s drops: full=%d coalesced=%d expired=%d\n",
+		policyName, drops.Full, drops.Coalesced, drops.Expired)
+	fmt.Printf("kmsoak: telemetry sent=%d recv=%d drop-rate=%.1f%%\n",
+		sent, recv, rate*100)
 }

@@ -43,9 +43,12 @@ type codecJob struct {
 	msg   Msg
 	proto Transport
 	dest  string
-	id    uint64
-	want  bool
-	lane  *peerLane
+	// qos is the message's annotation, extracted from the header on the
+	// component thread and handed to the endpoint with the payload.
+	qos  QoS
+	id   uint64
+	want bool
+	lane *peerLane
 
 	// Set under lane.mu when the encode (or failure) completes.
 	payload []byte
@@ -103,8 +106,8 @@ func newCodecStage(n *Network, workers, limit int) *codecStage {
 
 // submit sequences one outgoing message. Called only from the Network
 // component thread, so lane append order IS sendMsg order.
-func (st *codecStage) submit(msg Msg, proto Transport, dest string, id uint64, want bool) {
-	job := &codecJob{msg: msg, proto: proto, dest: dest, id: id, want: want}
+func (st *codecStage) submit(msg Msg, proto Transport, dest string, qos QoS, id uint64, want bool) {
+	job := &codecJob{msg: msg, proto: proto, dest: dest, qos: qos, id: id, want: want}
 	key := laneKey{proto: proto, dest: dest}
 	st.mu.Lock()
 	if st.closed {
@@ -211,7 +214,7 @@ func (st *codecStage) release(j *codecJob) {
 		id := j.id
 		cb = func(err error) { n.comp.SelfTrigger(sendOutcome{id: id, err: err}) }
 	}
-	ep.Send(j.proto, j.dest, j.payload, cb)
+	ep.SendQoS(j.proto, j.dest, j.payload, j.qos, cb)
 }
 
 // close stops the workers and fails the unencoded backlog. Runs on the

@@ -26,9 +26,14 @@ type BasicHeader struct {
 	Src   Address
 	Dst   Address
 	Proto Transport
+	// QoS optionally annotates the message for overload control (class,
+	// latest-value key, deadline). The zero value keeps the pre-QoS
+	// semantics and wire encoding.
+	QoS QoS
 }
 
 var _ Header = BasicHeader{}
+var _ QoSCarrier = BasicHeader{}
 
 // NewHeader builds a BasicHeader.
 func NewHeader(src, dst Address, proto Transport) BasicHeader {
@@ -54,6 +59,15 @@ func (h BasicHeader) String() string {
 // to substitute the concrete protocol for Transport.DATA.
 func (h BasicHeader) WithProtocol(t Transport) BasicHeader {
 	h.Proto = t
+	return h
+}
+
+// MessageQoS implements QoSCarrier.
+func (h BasicHeader) MessageQoS() QoS { return h.QoS }
+
+// WithQoS returns a copy of the header carrying the annotation.
+func (h BasicHeader) WithQoS(q QoS) BasicHeader {
+	h.QoS = q
 	return h
 }
 
@@ -111,6 +125,10 @@ func (h RoutingHeader) Destination() Address {
 // Protocol implements Header.
 func (h RoutingHeader) Protocol() Transport { return h.Base.Protocol() }
 
+// MessageQoS implements QoSCarrier: the annotation rides on the base
+// header across every hop.
+func (h RoutingHeader) MessageQoS() QoS { return h.Base.QoS }
+
 // Advance returns the header for the next hop, or ok=false when the
 // current hop is final.
 func (h RoutingHeader) Advance() (RoutingHeader, bool) {
@@ -151,4 +169,10 @@ func (m *DataMsg) Size() int { return len(m.Payload) }
 // (messages are immutable by convention).
 func (m *DataMsg) WithWireProtocol(t Transport) Msg {
 	return &DataMsg{Hdr: m.Hdr.WithProtocol(t), Payload: m.Payload}
+}
+
+// WithQoS returns a copy of the message with its header annotated; the
+// payload is shared, not copied.
+func (m *DataMsg) WithQoS(q QoS) *DataMsg {
+	return &DataMsg{Hdr: m.Hdr.WithQoS(q), Payload: m.Payload}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/kompics/kompicsmessaging-go/internal/transport"
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
 
 // Metrics wiring: when NetworkConfig.Metrics is set, the network feeds a
@@ -14,6 +15,8 @@ import (
 //	status_up_total / status_down_total / status_retry_total /
 //	status_fallback_total   — supervision transitions published
 //	queue_channels / queue_depth / queue_max_depth — outgoing registry
+//	drops_<class>_<reason> — queue-policy drops, class ∈ {reliable,
+//	control, telemetry}, reason ∈ {full, coalesced, expired}
 //	inbound_conns / inbound_frames / inbound_bytes / inbound_deaths
 //
 // The soak harness layers its own workload metrics (RTT histograms,
@@ -50,6 +53,24 @@ func (n *Network) registerMetrics() {
 	reg.GaugeFunc(pfx+"queue_channels", queue(func(t transport.QueueTotals) int64 { return int64(t.Channels) }))
 	reg.GaugeFunc(pfx+"queue_depth", queue(func(t transport.QueueTotals) int64 { return int64(t.Queued) }))
 	reg.GaugeFunc(pfx+"queue_max_depth", queue(func(t transport.QueueTotals) int64 { return int64(t.MaxDepth) }))
+	for class := QoSClass(0); class < wire.NumClasses; class++ {
+		cls := class
+		drops := func(f func(transport.PolicyDrops) uint64) func() int64 {
+			return func() int64 {
+				ep := n.endpoint()
+				if ep == nil {
+					return 0
+				}
+				return int64(f(ep.DropStats().PerClass[cls]))
+			}
+		}
+		reg.GaugeFunc(pfx+"drops_"+cls.String()+"_full",
+			drops(func(d transport.PolicyDrops) uint64 { return d.Full }))
+		reg.GaugeFunc(pfx+"drops_"+cls.String()+"_coalesced",
+			drops(func(d transport.PolicyDrops) uint64 { return d.Coalesced }))
+		reg.GaugeFunc(pfx+"drops_"+cls.String()+"_expired",
+			drops(func(d transport.PolicyDrops) uint64 { return d.Expired }))
+	}
 	reg.GaugeFunc(pfx+"inbound_conns", inbound(func(t transport.InboundSummary) int64 { return int64(t.Conns) }))
 	reg.GaugeFunc(pfx+"inbound_frames", inbound(func(t transport.InboundSummary) int64 { return int64(t.Frames) }))
 	reg.GaugeFunc(pfx+"inbound_bytes", inbound(func(t transport.InboundSummary) int64 { return int64(t.Bytes) }))
@@ -84,6 +105,16 @@ func (n *Network) QueueStats() transport.QueueTotals {
 		return transport.QueueTotals{}
 	}
 	return ep.QueueStats()
+}
+
+// DropStats reports the live endpoint's per-(class, reason) queue-policy
+// drop counters (zero while stopped).
+func (n *Network) DropStats() transport.DropTotals {
+	ep := n.endpoint()
+	if ep == nil {
+		return transport.DropTotals{}
+	}
+	return ep.DropStats()
 }
 
 // InboundTotals reports the live endpoint's inbound-registry totals

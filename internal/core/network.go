@@ -136,7 +136,7 @@ type Network struct {
 	// restart cannot race frames onto a stale stage.
 	dstage *decodeStage
 	// warnLimit throttles the dropping-unsendable-message warn.
-	warnLimit *warnLimiter
+	warnLimit *stats.LogLimiter
 }
 
 var _ kompics.Definition = (*Network)(nil)
@@ -177,7 +177,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if cfg.Transport.Clock == nil {
 		cfg.Transport.Clock = clock.Real{}
 	}
-	return &Network{cfg: cfg, warnLimit: newWarnLimiter(cfg.Transport.Clock)}, nil
+	return &Network{cfg: cfg, warnLimit: stats.NewLogLimiter(cfg.Transport.Clock, warnBurst, warnRefillPerSec)}, nil
 }
 
 // Port returns the provided network port, for wiring after Create.
@@ -340,8 +340,9 @@ func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
 		return
 	}
 	// The stage encodes off the component thread and hands the payload to
-	// Endpoint.Send in per-(proto, dest) submission order.
-	n.stage.submit(msg, proto, dest, notifyID, wantNotify)
+	// Endpoint.SendQoS in per-(proto, dest) submission order, carrying the
+	// header's QoS annotation to the transport's queue policy.
+	n.stage.submit(msg, proto, dest, HeaderQoS(hdr), notifyID, wantNotify)
 }
 
 // notify resolves one send: a NotifyResp on the port when the sender
@@ -353,7 +354,7 @@ func (n *Network) sendMsg(msg Msg, notifyID uint64, wantNotify bool) {
 func (n *Network) notify(id uint64, want bool, err error) {
 	if !want {
 		if err != nil {
-			if ok, suppressed := n.warnLimit.allow(); ok {
+			if ok, suppressed := n.warnLimit.Allow(); ok {
 				if suppressed > 0 {
 					n.cfg.Logger.Warn("core: dropping unsendable message",
 						"err", err, "suppressed", suppressed)

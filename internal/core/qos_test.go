@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/kompics/kompicsmessaging-go/internal/codec"
+)
+
+func qosHeader(q QoS) BasicHeader {
+	return NewHeader(MustParseAddress("1.1.1.1:1"), MustParseAddress("2.2.2.2:2"), TCP).WithQoS(q)
+}
+
+func TestQoSHeaderRoundtrip(t *testing.T) {
+	cases := []QoS{
+		{},
+		{Class: ClassControl},
+		{Class: ClassTelemetry, Key: "sensor7"},
+		{Key: "reliable-but-keyed"},
+		{Class: ClassTelemetry, Key: "s", Deadline: 1_234_567_890},
+		{Deadline: -5}, // varint: sign survives
+	}
+	for _, q := range cases {
+		in := qosHeader(q)
+		var buf bytes.Buffer
+		if err := WriteBasicHeader(&buf, in); err != nil {
+			t.Fatalf("%+v: %v", q, err)
+		}
+		out, err := ReadBasicHeader(&buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", q, err)
+		}
+		if out.QoS != q {
+			t.Fatalf("QoS roundtrip %+v -> %+v", q, out.QoS)
+		}
+		if out.Proto != TCP || !out.Src.SameHostAs(in.Src) || !out.Dst.SameHostAs(in.Dst) {
+			t.Fatalf("header corrupted alongside QoS %+v", q)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%+v: %d undecoded bytes", q, buf.Len())
+		}
+	}
+}
+
+// TestQoSHeaderBackwardCompat pins the wire compatibility guarantee: a
+// header without QoS encodes byte-identically to the pre-QoS format, so
+// old decoders read new zero-QoS traffic and new decoders read old
+// traffic (seeing zero QoS).
+func TestQoSHeaderBackwardCompat(t *testing.T) {
+	h := qosHeader(QoS{})
+
+	var legacy bytes.Buffer // the pre-QoS encoding: src, dst, proto uvarint
+	if err := WriteAddress(&legacy, h.Src); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAddress(&legacy, h.Dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.WriteUvarint(&legacy, uint64(h.Proto)); err != nil {
+		t.Fatal(err)
+	}
+
+	var now bytes.Buffer
+	if err := WriteBasicHeader(&now, h); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(now.Bytes(), legacy.Bytes()) {
+		t.Fatalf("zero-QoS header encoding changed:\n new: %x\n old: %x", now.Bytes(), legacy.Bytes())
+	}
+
+	out, err := ReadBasicHeader(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.QoS.IsZero() {
+		t.Fatalf("legacy header decoded with QoS %+v", out.QoS)
+	}
+
+	// An annotated header must still decode to the same addresses/proto.
+	annotated := qosHeader(QoS{Class: ClassTelemetry, Key: "k"})
+	var abuf bytes.Buffer
+	if err := WriteBasicHeader(&abuf, annotated); err != nil {
+		t.Fatal(err)
+	}
+	if abuf.Len() <= legacy.Len() {
+		t.Fatal("annotated header not longer than legacy encoding — flag bit lost?")
+	}
+}
+
+func TestQoSHeaderRejectsInvalidClass(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBasicHeader(&buf, qosHeader(QoS{Class: ClassControl, Key: "k"})); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout: ...addresses..., proto|flag, class, key, deadline. The class
+	// byte sits right after the flagged proto byte; clobber it.
+	idx := len(raw) - (1 + 1 + len("k") + 1) // class, key len, key bytes, deadline
+	raw[idx] = 0x7
+	if _, err := ReadBasicHeader(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "QoS class") {
+		t.Fatalf("accepted invalid QoS class from wire: %v", err)
+	}
+}
+
+// bareHeader is a Header that is not a QoSCarrier: pre-QoS application
+// header types keep working and read as zero QoS.
+type bareHeader struct{ src, dst Address }
+
+func (h bareHeader) Source() Address      { return h.src }
+func (h bareHeader) Destination() Address { return h.dst }
+func (h bareHeader) Protocol() Transport  { return TCP }
+
+func TestQoSHeaderCarrier(t *testing.T) {
+	q := QoS{Class: ClassTelemetry, Key: "k", Deadline: 9}
+	h := qosHeader(q)
+	if got := HeaderQoS(h); got != q {
+		t.Fatalf("HeaderQoS(BasicHeader) = %+v, want %+v", got, q)
+	}
+	r := RoutingHeader{Base: h}
+	if got := HeaderQoS(r); got != q {
+		t.Fatalf("HeaderQoS(RoutingHeader) = %+v, want %+v", got, q)
+	}
+	if got := HeaderQoS(bareHeader{src: h.Src, dst: h.Dst}); !got.IsZero() {
+		t.Fatalf("HeaderQoS(non-carrier) = %+v, want zero", got)
+	}
+	msg := &DataMsg{Hdr: qosHeader(QoS{}), Payload: []byte("p")}
+	annotated := msg.WithQoS(q)
+	if got := HeaderQoS(annotated.Header()); got != q {
+		t.Fatalf("DataMsg.WithQoS lost the annotation: %+v", got)
+	}
+	if !HeaderQoS(msg.Header()).IsZero() {
+		t.Fatal("WithQoS mutated the original message")
+	}
+}

@@ -48,6 +48,13 @@ func ReadAddress(r io.Reader) (BasicAddress, error) {
 	return BasicAddress{ip: net.IP(ip), port: int(port)}, nil
 }
 
+// qosFlag marks a header whose protocol field is followed by a QoS
+// annotation. Transport values (1–4) fit in three bits, so bit 3 of the
+// protocol uvarint is free: a zero-QoS header encodes byte-identically to
+// the pre-QoS format, and a pre-QoS decoder reading an unflagged header
+// sees exactly what it always saw — the annotation is strictly additive.
+const qosFlag = 0x8
+
 // WriteBasicHeader encodes a BasicHeader.
 func WriteBasicHeader(w io.Writer, h BasicHeader) error {
 	if err := WriteAddress(w, h.Src); err != nil {
@@ -56,7 +63,19 @@ func WriteBasicHeader(w io.Writer, h BasicHeader) error {
 	if err := WriteAddress(w, h.Dst); err != nil {
 		return err
 	}
-	return codec.WriteUvarint(w, uint64(h.Proto))
+	if h.QoS.IsZero() {
+		return codec.WriteUvarint(w, uint64(h.Proto))
+	}
+	if err := codec.WriteUvarint(w, uint64(h.Proto)|qosFlag); err != nil {
+		return err
+	}
+	if err := codec.WriteUvarint(w, uint64(h.QoS.Class)); err != nil {
+		return err
+	}
+	if err := codec.WriteString(w, h.QoS.Key); err != nil {
+		return err
+	}
+	return codec.WriteVarint(w, h.QoS.Deadline)
 }
 
 // ReadBasicHeader decodes a header written by WriteBasicHeader.
@@ -73,11 +92,30 @@ func ReadBasicHeader(r io.Reader) (BasicHeader, error) {
 	if err != nil {
 		return BasicHeader{}, err
 	}
-	t := Transport(proto)
-	if !t.Valid() {
-		return BasicHeader{}, fmt.Errorf("core: invalid transport %d on wire", proto)
+	h := BasicHeader{Src: src, Dst: dst, Proto: Transport(proto &^ qosFlag)}
+	if !h.Proto.Valid() {
+		return BasicHeader{}, fmt.Errorf("core: invalid transport %d on wire", proto&^qosFlag)
 	}
-	return BasicHeader{Src: src, Dst: dst, Proto: t}, nil
+	if proto&qosFlag == 0 {
+		return h, nil
+	}
+	class, err := codec.ReadUvarint(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	if !QoSClass(class).Valid() {
+		return BasicHeader{}, fmt.Errorf("core: invalid QoS class %d on wire", class)
+	}
+	key, err := codec.ReadString(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	deadline, err := codec.ReadVarint(r)
+	if err != nil {
+		return BasicHeader{}, err
+	}
+	h.QoS = QoS{Class: QoSClass(class), Key: key, Deadline: deadline}
+	return h, nil
 }
 
 // DataMsgSerializer is the wire codec for DataMsg.

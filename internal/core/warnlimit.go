@@ -1,59 +1,14 @@
 package core
 
-import (
-	"sync"
-	"time"
-
-	"github.com/kompics/kompicsmessaging-go/internal/clock"
-)
-
 // Fire-and-forget sends (plain Msg, no NotifyReq) surface their failures
 // only through the "dropping unsendable message" warn log. A dead peer
 // under fan-out load produces one such failure per message, so the warn is
-// throttled by a token bucket: warnBurst immediate logs, refilled at
-// warnRefillPerSec. Suppressed occurrences are counted and reported on the
-// next allowed log line, so the signal (and its magnitude) survives even
-// when the individual lines do not.
+// throttled by a stats.LogLimiter token bucket: warnBurst immediate logs,
+// refilled at warnRefillPerSec. Suppressed occurrences are counted and
+// reported on the next allowed log line, so the signal (and its magnitude)
+// survives even when the individual lines do not. The transport layer's
+// drop path throttles its own warn with the same limiter type.
 const (
 	warnBurst        = 10
 	warnRefillPerSec = 1
 )
-
-// warnLimiter is a token bucket on the injectable clock (the same
-// clock.Clock the transport's backoff uses, so netsim runs stay
-// deterministic). Safe for concurrent use: notify runs on codec workers
-// as well as the component thread.
-type warnLimiter struct {
-	clk clock.Clock
-
-	// mu guards the bucket state: tokens and last, plus suppressed, the
-	// count of denied logs since the last allowed one.
-	mu         sync.Mutex
-	tokens     float64
-	last       time.Time
-	suppressed int
-}
-
-func newWarnLimiter(clk clock.Clock) *warnLimiter {
-	return &warnLimiter{clk: clk, tokens: warnBurst, last: clk.Now()}
-}
-
-// allow reports whether a log line may be emitted, and — when it may —
-// how many lines were suppressed since the previous allowed one.
-func (w *warnLimiter) allow() (ok bool, suppressed int) {
-	now := w.clk.Now()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if dt := now.Sub(w.last); dt > 0 {
-		w.tokens = min(warnBurst, w.tokens+dt.Seconds()*warnRefillPerSec)
-	}
-	w.last = now
-	if w.tokens < 1 {
-		w.suppressed++
-		return false, 0
-	}
-	w.tokens--
-	suppressed = w.suppressed
-	w.suppressed = 0
-	return true, suppressed
-}

@@ -247,7 +247,9 @@ func (n *Network) lowerNotify(resp core.NotifyResp) {
 	}
 	delete(n.pending, resp.ID)
 	if entry.stream != nil {
-		entry.stream.ic.OnSent(entry.proto)
+		// The outcome rides along so the interceptor can charge transport
+		// queue-policy drops to the episode's overload counter.
+		entry.stream.ic.OnSendResult(entry.proto, resp.Err)
 	}
 	if entry.wantNotify {
 		n.ctx.Trigger(core.NotifyResp{ID: entry.appID, Err: resp.Err}, n.provided)

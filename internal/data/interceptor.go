@@ -6,6 +6,7 @@ import (
 
 	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/core"
+	"github.com/kompics/kompicsmessaging-go/internal/transport"
 )
 
 // Item is one data message passing through the interceptor. Size drives
@@ -83,6 +84,7 @@ type Interceptor struct {
 	episodeStart time.Time
 	bytesSent    int64
 	msgsSent     int
+	msgsDropped  int
 	queueDelay   time.Duration
 	episodes     int
 	timer        clock.Timer
@@ -134,9 +136,10 @@ func (ic *Interceptor) episodeTick() {
 	}
 	now := ic.cfg.Clock.Now()
 	stats := EpisodeStats{
-		Duration:  now.Sub(ic.episodeStart),
-		BytesSent: ic.bytesSent,
-		MsgsSent:  ic.msgsSent,
+		Duration:    now.Sub(ic.episodeStart),
+		BytesSent:   ic.bytesSent,
+		MsgsSent:    ic.msgsSent,
+		MsgsDropped: ic.msgsDropped,
 	}
 	if ic.msgsSent > 0 {
 		stats.AvgQueueDelay = ic.queueDelay / time.Duration(ic.msgsSent)
@@ -148,6 +151,7 @@ func (ic *Interceptor) episodeTick() {
 	}
 	ic.bytesSent = 0
 	ic.msgsSent = 0
+	ic.msgsDropped = 0
 	ic.queueDelay = 0
 	ic.episodeStart = now
 	ic.episodes++
@@ -164,6 +168,19 @@ func (ic *Interceptor) Enqueue(item *Item) {
 // OnSent reports that the network layer finished writing a previously
 // released item on proto, freeing an outstanding slot.
 func (ic *Interceptor) OnSent(proto core.Transport) {
+	ic.OnSendResult(proto, nil)
+}
+
+// OnSendResult is OnSent carrying the send's outcome. A transport
+// queue-policy drop (*transport.ErrDropped — shed under overload rather
+// than failed by the wire) is charged to the episode's drop counter, so
+// the PRP's reward sees overload the episode it happens instead of only
+// through the slower queue-delay signal.
+func (ic *Interceptor) OnSendResult(proto core.Transport, err error) {
+	var de *transport.ErrDropped
+	if errors.As(err, &de) {
+		ic.msgsDropped++
+	}
 	if ic.outstanding[proto] > 0 {
 		ic.outstanding[proto]--
 	}

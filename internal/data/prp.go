@@ -18,6 +18,11 @@ type EpisodeStats struct {
 	BytesSent int64
 	// MsgsSent counts messages released during the episode.
 	MsgsSent int
+	// MsgsDropped counts released messages the transport's queue policy
+	// shed under overload (*transport.ErrDropped outcomes) during the
+	// episode — queue-full rejections, latest-value coalesces, and
+	// deadline expiries alike.
+	MsgsDropped int
 	// AvgQueueDelay is the mean time messages spent in the interceptor
 	// queue before release.
 	AvgQueueDelay time.Duration
@@ -29,6 +34,15 @@ func (s EpisodeStats) Throughput() float64 {
 		return 0
 	}
 	return float64(s.BytesSent) / s.Duration.Seconds()
+}
+
+// DropRate returns the fraction of the episode's released messages the
+// transport shed (0 when nothing was sent).
+func (s EpisodeStats) DropRate() float64 {
+	if s.MsgsSent <= 0 {
+		return 0
+	}
+	return float64(s.MsgsDropped) / float64(s.MsgsSent)
 }
 
 // ProtocolRatioPolicy prescribes the target TCP/UDT ratio over time
@@ -114,6 +128,13 @@ type LearnerConfig struct {
 	// weight biases the learner towards ratios that keep the stream
 	// responsive, not just fast.
 	LatencyWeight float64
+	// DropWeight scales the overload penalty subtracted from the reward
+	// (reward units per unit drop rate). Zero disables it. With the
+	// transport's queue policies active, an episode's DropRate is the
+	// sharpest overload signal the learner gets — a ratio that overruns
+	// a lane's pending queue sheds messages the same episode, where the
+	// queue-delay penalty only climbs once backlogs are already deep.
+	DropWeight float64
 	// Rand is required for reproducible exploration.
 	Rand *rand.Rand
 }
@@ -243,12 +264,21 @@ func (l *TDRatioLearner) ratioOf(s rl.State) Ratio {
 // Initial implements ProtocolRatioPolicy.
 func (l *TDRatioLearner) Initial() Ratio { return l.cfg.Initial }
 
-// Update implements ProtocolRatioPolicy: one Sarsa(λ) step per episode,
-// rewarded with the episode's throughput minus an optional queue-delay
-// penalty.
-func (l *TDRatioLearner) Update(stats EpisodeStats) Ratio {
+// reward converts one episode's statistics into the Sarsa(λ) reward:
+// scaled throughput minus the optional queue-delay and drop-rate
+// penalties.
+func (l *TDRatioLearner) reward(stats EpisodeStats) float64 {
 	reward := stats.Throughput() / l.cfg.RewardScale
 	reward -= l.cfg.LatencyWeight * stats.AvgQueueDelay.Seconds()
+	reward -= l.cfg.DropWeight * stats.DropRate()
+	return reward
+}
+
+// Update implements ProtocolRatioPolicy: one Sarsa(λ) step per episode,
+// rewarded with the episode's throughput minus the optional queue-delay
+// and overload (drop-rate) penalties.
+func (l *TDRatioLearner) Update(stats EpisodeStats) Ratio {
+	reward := l.reward(stats)
 	var action rl.Action
 	if !l.started {
 		action = l.sarsa.Start(l.state)

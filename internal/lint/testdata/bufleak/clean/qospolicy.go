@@ -1,0 +1,79 @@
+package clean
+
+import "github.com/kompics/kompicsmessaging-go/internal/bufpool"
+
+// The queue-policy fixtures mirror the transport's displaced-payload
+// ownership contract: a policy push may displace a queued message (a
+// latest-value coalesce, a head eviction), and the displaced pooled
+// payload must go back to bufpool through the drop path exactly once.
+
+// lvwQueue mimics a latest-value-wins pending queue keyed by application
+// key. push stores the admitted payload (a transfer sink, inferred from
+// the body) and hands any displaced payload back to the caller.
+type lvwQueue struct {
+	idx   map[string]int
+	queue [][]byte
+	limit int
+}
+
+func (q *lvwQueue) push(key string, payload []byte) (displaced []byte, ok bool) {
+	if i, hit := q.idx[key]; hit {
+		old := q.queue[i]
+		q.queue[i] = payload
+		return old, true
+	}
+	if len(q.queue) >= q.limit {
+		return nil, false
+	}
+	q.idx[key] = len(q.queue)
+	q.queue = append(q.queue, payload)
+	return nil, true
+}
+
+// coalesceSend is the correct enqueue shape: the queue owns admitted
+// payloads, and both a rejected buffer and a displaced stale one are
+// repooled by the drop path.
+func coalesceSend(q *lvwQueue, key string, reading []byte) {
+	b := bufpool.Get(len(reading))
+	copy(b, reading)
+	displaced, ok := q.push(key, b)
+	if !ok {
+		bufpool.Put(b)
+		return
+	}
+	if displaced != nil {
+		bufpool.Put(displaced)
+	}
+}
+
+// lvwLike coalesces by copying into the queued slot's existing bytes:
+// coalesceInPlace borrows fresh (no store), so the caller keeps
+// ownership of the source buffer.
+type lvwLike struct {
+	idx   map[string]int
+	queue [][]byte
+	limit int
+}
+
+func (q *lvwLike) coalesceInPlace(key string, fresh []byte) bool {
+	i, hit := q.idx[key]
+	if !hit {
+		return false
+	}
+	copy(q.queue[i], fresh)
+	return true
+}
+
+// coalesceThenRepool repools the borrowed source after an in-place
+// coalesce, and transfers it to the queue otherwise — released on every
+// path.
+func coalesceThenRepool(q *lvwLike, key string, reading []byte) {
+	b := bufpool.Get(len(reading))
+	copy(b, reading)
+	if q.coalesceInPlace(key, b) {
+		bufpool.Put(b)
+		return
+	}
+	q.idx[key] = len(q.queue)
+	q.queue = append(q.queue, b)
+}

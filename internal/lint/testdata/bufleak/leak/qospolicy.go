@@ -1,0 +1,47 @@
+package leak
+
+import "github.com/kompics/kompicsmessaging-go/internal/bufpool"
+
+// Queue-policy shapes that violate the displaced-payload ownership
+// contract: a policy (or its caller) forgetting to repool a pooled
+// buffer it still owns after a coalesce or a rejection.
+
+// lvwLike coalesces by copying into the queued slot's existing bytes.
+// coalesceInPlace only reads fresh (copy is a borrow, not a store), so
+// ownership of the source buffer stays with the caller.
+type lvwLike struct {
+	idx   map[string]int
+	queue [][]byte
+	limit int
+}
+
+func (q *lvwLike) coalesceInPlace(key string, fresh []byte) bool {
+	i, hit := q.idx[key]
+	if !hit {
+		return false
+	}
+	copy(q.queue[i], fresh)
+	return true
+}
+
+// coalesceForgetsRepool copies the update over the queued slot but never
+// repools the still-owned source buffer — the exact bug the contract
+// exists to prevent.
+func coalesceForgetsRepool(q *lvwLike, key string, reading []byte) {
+	b := bufpool.Get(len(reading)) // want "dropped when this block ends"
+	copy(b, reading)
+	q.coalesceInPlace(key, b)
+}
+
+// pushRejectLeaks draws the buffer before checking the bound, then
+// forgets it on the rejection path. The success path transfers to the
+// queue, so only the early return is flagged.
+func pushRejectLeaks(q *lvwLike, key string, reading []byte) {
+	b := bufpool.Get(len(reading))
+	if len(q.queue) >= q.limit {
+		return // want "can escape here without bufpool.Put"
+	}
+	copy(b, reading)
+	q.idx[key] = len(q.queue)
+	q.queue = append(q.queue, b)
+}

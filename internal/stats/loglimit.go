@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"sync"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+)
+
+// LogLimiter is a token bucket for log lines: Burst immediate emissions,
+// refilled at RefillPerSec. Denied emissions are counted and the count is
+// handed back with the next allowed one, so a flood (a dead peer failing
+// every message, a flash crowd coalescing thousands of updates) shows up
+// as one line per burst with its magnitude preserved instead of a
+// log-swamping line per event.
+//
+// Time comes from an injectable clock.Clock — the same clock the
+// transport's backoff and the simulator use — so rate-limited logging
+// stays deterministic under virtual time. Safe for concurrent use.
+type LogLimiter struct {
+	clk    clock.Clock
+	burst  float64
+	refill float64 // tokens per second
+
+	// mu guards the bucket state: tokens and last, plus suppressed, the
+	// count of denied logs since the last allowed one.
+	mu         sync.Mutex
+	tokens     float64
+	last       time.Time
+	suppressed int
+}
+
+// NewLogLimiter builds a limiter allowing burst immediate lines refilled
+// at refillPerSec.
+func NewLogLimiter(clk clock.Clock, burst int, refillPerSec float64) *LogLimiter {
+	return &LogLimiter{
+		clk:    clk,
+		burst:  float64(burst),
+		refill: refillPerSec,
+		tokens: float64(burst),
+		last:   clk.Now(),
+	}
+}
+
+// Allow reports whether a log line may be emitted, and — when it may —
+// how many lines were suppressed since the previous allowed one.
+func (l *LogLimiter) Allow() (ok bool, suppressed int) {
+	now := l.clk.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dt := now.Sub(l.last); dt > 0 {
+		l.tokens = min(l.burst, l.tokens+dt.Seconds()*l.refill)
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.suppressed++
+		return false, 0
+	}
+	l.tokens--
+	suppressed = l.suppressed
+	l.suppressed = 0
+	return true, suppressed
+}

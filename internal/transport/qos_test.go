@@ -1,0 +1,539 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/kompics/kompicsmessaging-go/internal/bufpool"
+	"github.com/kompics/kompicsmessaging-go/internal/clock"
+	"github.com/kompics/kompicsmessaging-go/internal/faults"
+	"github.com/kompics/kompicsmessaging-go/internal/wire"
+)
+
+// TestQoSPolicyByName pins the CLI names and the error for unknown ones.
+func TestQoSPolicyByName(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := PolicyByName(p.Name())
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", p.Name(), err)
+		}
+		if got.Name() != p.Name() {
+			t.Fatalf("PolicyByName(%q) resolved %q", p.Name(), got.Name())
+		}
+	}
+	if _, err := PolicyByName("coin-flip"); err == nil || !strings.Contains(err.Error(), "latest-value") {
+		t.Fatalf("unknown policy error should list the choices, got %v", err)
+	}
+}
+
+// TestQoSDefaultPolicyIsReject checks that a Config without an explicit
+// QueuePolicy gets the behaviour-identical fail-fast default.
+func TestQoSDefaultPolicyIsReject(t *testing.T) {
+	ep, err := NewEndpoint(Config{
+		ListenAddr: "127.0.0.1:0",
+		OnMessage:  func(_ From, p []byte) { bufpool.Put(p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := ep.cfg.QueuePolicy.Name(); name != "reject" {
+		t.Fatalf("default queue policy is %q, want reject", name)
+	}
+}
+
+// TestQoSErrDroppedMessages pins the error contract: queue-pressure drops
+// name the protocol and unwrap to ErrQueueFull; value/deadline sheds are
+// distinct conditions and unwrap to nothing.
+func TestQoSErrDroppedMessages(t *testing.T) {
+	full := &ErrDropped{Reason: DropQueueFull, Class: wire.ClassControl, Proto: wire.UDT, Dest: "10.0.0.7:99", Limit: 64}
+	if !errors.Is(full, ErrQueueFull) {
+		t.Fatal("queue-full drop does not unwrap to ErrQueueFull")
+	}
+	for _, want := range []string{"UDT", "64", "10.0.0.7:99"} {
+		if !strings.Contains(full.Error(), want) {
+			t.Fatalf("queue-full message %q missing %q", full.Error(), want)
+		}
+	}
+
+	coalesced := &ErrDropped{Reason: DropCoalesced, Class: wire.ClassTelemetry, Proto: wire.TCP, Dest: "d"}
+	expired := &ErrDropped{Reason: DropExpired, Class: wire.ClassTelemetry, Proto: wire.TCP, Dest: "d"}
+	for _, e := range []*ErrDropped{coalesced, expired} {
+		if errors.Is(e, ErrQueueFull) {
+			t.Fatalf("%v drop must not report queue pressure", e.Reason)
+		}
+		var de *ErrDropped
+		if !errors.As(error(e), &de) || de.Reason != e.Reason {
+			t.Fatalf("errors.As lost the drop reason for %v", e.Reason)
+		}
+	}
+	if !strings.Contains(coalesced.Error(), "coalesced") || !strings.Contains(expired.Error(), "deadline") {
+		t.Fatalf("drop messages not descriptive: %q / %q", coalesced.Error(), expired.Error())
+	}
+}
+
+// qosMsg builds an unpooled outMsg carrying seq in its payload for the
+// policy-level tests (policies never release, so no pooling needed).
+func qosMsg(seq uint32, q wire.QoS) outMsg {
+	p := make([]byte, 4)
+	binary.BigEndian.PutUint32(p, seq)
+	return outMsg{payload: p, qos: q}
+}
+
+func qosSeq(m outMsg) uint32 { return binary.BigEndian.Uint32(m.payload) }
+
+// TestQoSLatestValueDistinctKeysKeepOrder drives latestValueQueue
+// directly: coalescing replaces in place, so distinct keys keep their
+// original relative order and the refreshed key keeps its slot.
+func TestQoSLatestValueDistinctKeysKeepOrder(t *testing.T) {
+	pq := LatestValueWins.NewQueue(8)
+	var q []outMsg
+	for i := uint32(0); i < 3; i++ {
+		var d []dropped
+		var ok bool
+		q, d, ok = pq.Push(q, qosMsg(i, wire.QoS{Key: fmt.Sprintf("k%d", i)}), 0)
+		if !ok || len(d) != 0 {
+			t.Fatalf("fresh key %d: ok=%v displaced=%d", i, ok, len(d))
+		}
+	}
+	// Refresh k0: same slot, old message displaced as coalesced.
+	q, d, ok := pq.Push(q, qosMsg(100, wire.QoS{Key: "k0"}), 0)
+	if !ok || len(d) != 1 || d[0].reason != DropCoalesced || qosSeq(d[0].msg) != 0 {
+		t.Fatalf("coalesce: ok=%v displaced=%+v", ok, d)
+	}
+	want := []uint32{100, 1, 2}
+	if len(q) != len(want) {
+		t.Fatalf("queue length %d, want %d", len(q), len(want))
+	}
+	for i, w := range want {
+		if got := qosSeq(q[i]); got != w {
+			t.Fatalf("slot %d holds seq %d, want %d (reordered)", i, got, w)
+		}
+	}
+	// Same key, different class: a distinct coalesce scope, appends.
+	q, d, ok = pq.Push(q, qosMsg(200, wire.QoS{Class: wire.ClassControl, Key: "k0"}), 0)
+	if !ok || len(d) != 0 || len(q) != 4 || qosSeq(q[3]) != 200 {
+		t.Fatalf("cross-class push coalesced: ok=%v displaced=%d len=%d", ok, len(d), len(q))
+	}
+	// Keyless messages never coalesce.
+	q, d, ok = pq.Push(q, qosMsg(300, wire.QoS{}), 0)
+	if !ok || len(d) != 0 || len(q) != 5 {
+		t.Fatalf("keyless push coalesced: ok=%v displaced=%d len=%d", ok, len(d), len(q))
+	}
+	_ = q
+}
+
+// TestQoSDeadlineBornDead checks that a message whose deadline already
+// passed at enqueue is shed as DropExpired (through displaced, ok=true),
+// not mischarged as queue pressure.
+func TestQoSDeadlineBornDead(t *testing.T) {
+	pq := DeadlineExpiry.NewQueue(4)
+	var q []outMsg
+	q, d, ok := pq.Push(q, qosMsg(1, wire.QoS{Deadline: 50}), 100)
+	if !ok {
+		t.Fatal("born-dead message charged as queue-full (ok=false)")
+	}
+	if len(q) != 0 || len(d) != 1 || d[0].reason != DropExpired || qosSeq(d[0].msg) != 1 {
+		t.Fatalf("born-dead: queue=%d displaced=%+v", len(q), d)
+	}
+	// At the limit, expired slots are reclaimed before rejecting.
+	for i := uint32(2); i < 6; i++ {
+		q, _, _ = pq.Push(q, qosMsg(i, wire.QoS{Deadline: 200}), 100)
+	}
+	if len(q) != 4 {
+		t.Fatalf("queue length %d, want 4", len(q))
+	}
+	q, d, ok = pq.Push(q, qosMsg(9, wire.QoS{Deadline: 400}), 300) // all four queued expired at t=300
+	if !ok || len(d) != 4 || len(q) != 1 || qosSeq(q[0]) != 9 {
+		t.Fatalf("sweep-at-limit: ok=%v displaced=%d queue=%d", ok, len(d), len(q))
+	}
+	for _, dr := range d {
+		if dr.reason != DropExpired {
+			t.Fatalf("swept message charged %v, want expired", dr.reason)
+		}
+	}
+}
+
+// TestQoSPerClassFIFOProperty is the randomized ordering property over
+// every built-in policy: simulate the channel's push/expire/drain cycle
+// and assert (1) the queue never exceeds its bound, (2) every message is
+// accounted exactly once — delivered or dropped, (3) delivery order is
+// FIFO per (peer, class); for LatestValueWins, FIFO per (class, key),
+// since coalescing re-fills a key's existing slot.
+func TestQoSPerClassFIFOProperty(t *testing.T) {
+	for _, pol := range Policies() {
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const limit = 8
+			pq := pol.NewQueue(limit)
+			var q []outMsg
+			now := int64(1_000)
+			next := uint32(0)
+
+			type meta struct {
+				qos wire.QoS
+			}
+			pushed := map[uint32]meta{}
+			outcome := map[uint32]string{} // "delivered" or the drop reason
+			var delivered []uint32
+
+			account := func(seq uint32, what string) {
+				if prev, dup := outcome[seq]; dup {
+					t.Fatalf("seq %d accounted twice: %s then %s", seq, prev, what)
+				}
+				outcome[seq] = what
+			}
+			drops := func(ds []dropped) {
+				for _, d := range ds {
+					account(qosSeq(d.msg), d.reason.String())
+				}
+			}
+			drain := func() {
+				var exp []dropped
+				q, exp = pq.Expire(q, now)
+				drops(exp)
+				for _, m := range q {
+					seq := qosSeq(m)
+					account(seq, "delivered")
+					delivered = append(delivered, seq)
+				}
+				q = q[:0]
+				pq.Drained()
+			}
+
+			for i := 0; i < 3_000; i++ {
+				switch op := rng.Intn(10); {
+				case op < 7: // push
+					qos := wire.QoS{Class: wire.Class(rng.Intn(wire.NumClasses))}
+					if rng.Intn(2) == 0 {
+						qos.Key = fmt.Sprintf("k%d", rng.Intn(4))
+					}
+					if rng.Intn(3) == 0 {
+						qos.Deadline = now + int64(rng.Intn(200)) - 60
+					}
+					seq := next
+					next++
+					pushed[seq] = meta{qos: qos}
+					var ds []dropped
+					var ok bool
+					q, ds, ok = pq.Push(q, qosMsg(seq, qos), now)
+					drops(ds)
+					if !ok {
+						account(seq, DropQueueFull.String())
+					}
+					if len(q) > limit {
+						t.Fatalf("queue grew to %d, bound is %d", len(q), limit)
+					}
+				case op < 8: // time passes
+					now += int64(rng.Intn(150))
+				case op < 9: // dequeue-time expiry without a full drain
+					var exp []dropped
+					q, exp = pq.Expire(q, now)
+					drops(exp)
+				default:
+					drain()
+				}
+			}
+			drain()
+
+			for seq := range pushed {
+				if _, ok := outcome[seq]; !ok {
+					t.Fatalf("seq %d vanished: neither delivered nor dropped", seq)
+				}
+			}
+			// FIFO: delivered seqs strictly increase per class — per
+			// (class, key) for the coalescing policy.
+			last := map[coalesceKey]uint32{}
+			for _, seq := range delivered {
+				scope := coalesceKey{class: pushed[seq].qos.Class}
+				if pol.Name() == "latest-value" {
+					scope.key = pushed[seq].qos.Key
+				}
+				if prev, seen := last[scope]; seen && seq <= prev {
+					t.Fatalf("%s: scope %+v delivered seq %d after %d (reordered)",
+						pol.Name(), scope, seq, prev)
+				}
+				last[scope] = seq
+			}
+		})
+	}
+}
+
+// TestQoSDropOldestEvictsHead pins a channel in connecting (supervision
+// pattern: dials refused, virtual clock never advanced) under DropOldest:
+// overflowing sends evict the oldest queued messages — notified oldest
+// first with ErrQueueFull-compatible ErrDropped — and the per-class drop
+// counters match the notify accounting exactly.
+func TestQoSDropOldestEvictsHead(t *testing.T) {
+	leakCheck(t)
+	inj := faults.New(1)
+	inj.Add(faults.Spec{Op: faults.OpDial, Action: faults.Refuse})
+	status := make(chan StatusEvent, 64)
+
+	const limit = 4
+	col := newEventCollector()
+	ep, err := NewEndpoint(Config{
+		ListenAddr:        "127.0.0.1:0",
+		OnMessage:         col.onMessage,
+		Protocols:         []wire.Transport{wire.TCP},
+		Faults:            inj,
+		Clock:             clock.NewVirtual(), // never advanced: backoff waits forever
+		MaxPendingPerPeer: limit,
+		MaxDialAttempts:   1000,
+		QueuePolicy:       DropOldest,
+		OnStatus:          func(ev StatusEvent) { status <- ev },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	dest := "127.0.0.1:9" // never actually dialed: the injector refuses first
+	type result struct {
+		i   int
+		err error
+	}
+	results := make(chan result, limit+2)
+	for i := 0; i < limit+2; i++ {
+		i := i
+		ep.SendQoS(wire.TCP, dest, pooled(fmt.Sprintf("m%d", i)), wire.QoS{Class: wire.ClassControl},
+			func(err error) { results <- result{i, err} })
+	}
+	expectStatus(t, status, StatusRetry)
+
+	// Sends 4 and 5 each evicted the then-oldest message: m0, then m1,
+	// notified in eviction order before any later outcome.
+	for want := 0; want < 2; want++ {
+		select {
+		case r := <-results:
+			if r.i != want {
+				t.Fatalf("eviction %d hit message %d, want the oldest (m%d)", want, r.i, want)
+			}
+			if !errors.Is(r.err, ErrQueueFull) {
+				t.Fatalf("evicted m%d: err = %v, want ErrQueueFull compatibility", r.i, r.err)
+			}
+			var de *ErrDropped
+			if !errors.As(r.err, &de) || de.Reason != DropQueueFull || de.Class != wire.ClassControl || de.Limit != limit {
+				t.Fatalf("evicted m%d: err = %#v, want queue-full ErrDropped for control class", r.i, r.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for eviction notify")
+		}
+	}
+
+	ch := ep.findChannel(wire.TCP, dest)
+	if ch == nil {
+		t.Fatal("channel left the registry while retrying")
+	}
+	ch.mu.Lock()
+	queued := len(ch.queue)
+	ch.mu.Unlock()
+	if queued != limit {
+		t.Fatalf("queue holds %d messages, want exactly %d", queued, limit)
+	}
+
+	ds := ep.DropStats()
+	if got := ds.PerClass[wire.ClassControl].Full; got != 2 {
+		t.Fatalf("control-class full drops = %d, want 2", got)
+	}
+	if got := ep.QueueStats().Drops; got.Total() != 2 || got.Full != 2 {
+		t.Fatalf("QueueStats drops = %+v, want 2 full", got)
+	}
+
+	ep.Close()
+	for i := 0; i < limit; i++ {
+		select {
+		case r := <-results:
+			if r.i < 2 || !errors.Is(r.err, ErrClosed) {
+				t.Fatalf("surviving m%d: err = %v, want ErrClosed", r.i, r.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for close notify")
+		}
+	}
+}
+
+// TestQoSLatestValueWinsEndToEnd is the acceptance scenario: an outage
+// pins the channel while a telemetry workload keeps updating a handful of
+// keys. LatestValueWins must shed by value — when the link comes back,
+// exactly the freshest update per key reaches the peer, every stale one
+// is notified as coalesced, the per-class counters match the notify
+// accounting exactly, and no displaced payload leaks (leakCheck).
+func TestQoSLatestValueWinsEndToEnd(t *testing.T) {
+	leakCheck(t)
+	inj := faults.New(1)
+	refuseID := inj.Add(faults.Spec{Op: faults.OpDial, Action: faults.Refuse})
+
+	col := &collector{}
+	recv, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: col.onMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	send, err := NewEndpoint(Config{
+		ListenAddr:        "127.0.0.1:0",
+		OnMessage:         func(_ From, p []byte) { bufpool.Put(p) },
+		Faults:            inj,
+		QueuePolicy:       LatestValueWins,
+		MaxPendingPerPeer: 8,
+		MaxDialAttempts:   1 << 20,
+		RedialBackoff:     5 * time.Millisecond,
+		RedialBackoffMax:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	const keys, rounds = 4, 50
+	dest := recv.Addr(wire.TCP)
+	notifies := make(chan error, keys*rounds)
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < keys; k++ {
+			send.SendQoS(wire.TCP, dest, pooled(fmt.Sprintf("k%d=%d", k, r)),
+				wire.QoS{Class: wire.ClassTelemetry, Key: fmt.Sprintf("k%d", k)},
+				func(err error) { notifies <- err })
+		}
+	}
+	inj.Remove(refuseID) // outage over; the backlog drains
+	waitCount(t, col, keys)
+
+	var deliveredN, coalescedN int
+	for i := 0; i < keys*rounds; i++ {
+		err := expectNotify(t, notifies)
+		if err == nil {
+			deliveredN++
+			continue
+		}
+		var de *ErrDropped
+		if !errors.As(err, &de) || de.Reason != DropCoalesced {
+			t.Fatalf("notify %d: %v, want coalesced ErrDropped", i, err)
+		}
+		if errors.Is(err, ErrQueueFull) {
+			t.Fatal("coalesced drop reported as queue pressure")
+		}
+		coalescedN++
+	}
+	if deliveredN != keys || coalescedN != keys*(rounds-1) {
+		t.Fatalf("delivered=%d coalesced=%d, want %d and %d", deliveredN, coalescedN, keys, keys*(rounds-1))
+	}
+
+	// Freshest value per key, nothing else.
+	got := map[string]bool{}
+	for _, p := range col.all() {
+		got[string(p)] = true
+	}
+	for k := 0; k < keys; k++ {
+		want := fmt.Sprintf("k%d=%d", k, rounds-1)
+		if !got[want] {
+			t.Fatalf("freshest update %q not delivered; got %v", want, got)
+		}
+	}
+	if len(got) != keys {
+		t.Fatalf("delivered %d distinct payloads, want %d (stale values leaked through)", len(got), keys)
+	}
+
+	// Counters match the notify accounting exactly.
+	ds := send.DropStats()
+	if got := ds.PerClass[wire.ClassTelemetry].Coalesced; got != uint64(coalescedN) {
+		t.Fatalf("telemetry coalesced counter = %d, notify accounting saw %d", got, coalescedN)
+	}
+	if total := ds.Sum(); total.Total() != uint64(coalescedN) {
+		t.Fatalf("drop totals %+v, want exactly %d coalesced", total, coalescedN)
+	}
+	if qd := send.QueueStats().Drops; qd.Coalesced != uint64(coalescedN) {
+		t.Fatalf("QueueStats.Drops.Coalesced = %d, want %d", qd.Coalesced, coalescedN)
+	}
+}
+
+// TestQoSDeadlineExpiryReconnectDrain holds a channel down past a
+// telemetry deadline: the first drain after the reconnect must shed the
+// expired backlog (DropExpired, counted per class) and deliver only the
+// messages without a lapsed deadline — in order.
+func TestQoSDeadlineExpiryReconnectDrain(t *testing.T) {
+	leakCheck(t)
+	inj := faults.New(1)
+	refuseID := inj.Add(faults.Spec{Op: faults.OpDial, Action: faults.Refuse})
+
+	col := &collector{}
+	recv, err := NewEndpoint(Config{ListenAddr: "127.0.0.1:0", OnMessage: col.onMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	send, err := NewEndpoint(Config{
+		ListenAddr:       "127.0.0.1:0",
+		OnMessage:        func(_ From, p []byte) { bufpool.Put(p) },
+		Faults:           inj,
+		QueuePolicy:      DeadlineExpiry,
+		MaxDialAttempts:  1 << 20,
+		RedialBackoff:    5 * time.Millisecond,
+		RedialBackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	const n = 3
+	dest := recv.Addr(wire.TCP)
+	deadline := time.Now().Add(50 * time.Millisecond).UnixNano()
+	notifies := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		send.SendQoS(wire.TCP, dest, pooled(fmt.Sprintf("doomed%d", i)),
+			wire.QoS{Class: wire.ClassTelemetry, Deadline: deadline},
+			func(err error) { notifies <- err })
+		send.SendQoS(wire.TCP, dest, pooled(fmt.Sprintf("durable%d", i)),
+			wire.QoS{}, func(err error) { notifies <- err })
+	}
+
+	time.Sleep(150 * time.Millisecond) // the outage outlives the deadline
+	inj.Remove(refuseID)
+	waitCount(t, col, n)
+
+	var deliveredN, expiredN int
+	for i := 0; i < 2*n; i++ {
+		err := expectNotify(t, notifies)
+		if err == nil {
+			deliveredN++
+			continue
+		}
+		var de *ErrDropped
+		if !errors.As(err, &de) || de.Reason != DropExpired || de.Class != wire.ClassTelemetry {
+			t.Fatalf("notify %d: %v, want expired telemetry ErrDropped", i, err)
+		}
+		expiredN++
+	}
+	if deliveredN != n || expiredN != n {
+		t.Fatalf("delivered=%d expired=%d, want %d and %d", deliveredN, expiredN, n, n)
+	}
+	for i, p := range col.all() {
+		if want := fmt.Sprintf("durable%d", i); string(p) != want {
+			t.Fatalf("delivery %d = %q, want %q (expired message leaked or order broke)", i, p, want)
+		}
+	}
+	if got := send.DropStats().PerClass[wire.ClassTelemetry].Expired; got != uint64(expiredN) {
+		t.Fatalf("telemetry expired counter = %d, notify accounting saw %d", got, expiredN)
+	}
+}

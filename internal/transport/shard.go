@@ -108,6 +108,55 @@ type QueueTotals struct {
 	Channels int
 	Queued   int
 	MaxDepth int
+	// Drops sums the endpoint's queue-policy drops across all classes —
+	// the coarse overload signal; DropStats has the per-class split.
+	Drops PolicyDrops
+}
+
+// PolicyDrops counts queue-policy drops by reason. Counters are
+// cumulative over the endpoint's life.
+type PolicyDrops struct {
+	// Full counts queue-pressure drops (rejected newest or evicted
+	// oldest at MaxPendingPerPeer).
+	Full uint64
+	// Coalesced counts latest-value-wins replacements.
+	Coalesced uint64
+	// Expired counts deadline expiries.
+	Expired uint64
+}
+
+// Total sums all reasons.
+func (d PolicyDrops) Total() uint64 { return d.Full + d.Coalesced + d.Expired }
+
+// DropTotals is the endpoint's queue-policy drop accounting, split per
+// QoS class.
+type DropTotals struct {
+	PerClass [wire.NumClasses]PolicyDrops
+}
+
+// Sum collapses the per-class split.
+func (t DropTotals) Sum() PolicyDrops {
+	var s PolicyDrops
+	for _, d := range t.PerClass {
+		s.Full += d.Full
+		s.Coalesced += d.Coalesced
+		s.Expired += d.Expired
+	}
+	return s
+}
+
+// DropStats snapshots the endpoint's per-(class, reason) drop counters.
+// Every increment corresponds to exactly one notify with *ErrDropped.
+func (e *Endpoint) DropStats() DropTotals {
+	var t DropTotals
+	for c := 0; c < wire.NumClasses; c++ {
+		t.PerClass[c] = PolicyDrops{
+			Full:      e.dropCounts[c][DropQueueFull-1].Load(),
+			Coalesced: e.dropCounts[c][DropCoalesced-1].Load(),
+			Expired:   e.dropCounts[c][DropExpired-1].Load(),
+		}
+	}
+	return t
 }
 
 // QueueStats walks the outgoing registry and sums queue depths. To keep
@@ -124,7 +173,7 @@ func (e *Endpoint) QueueStats() QueueTotals {
 		}
 		s.mu.Unlock()
 	}
-	t := QueueTotals{Channels: len(chans)}
+	t := QueueTotals{Channels: len(chans), Drops: e.DropStats().Sum()}
 	for _, c := range chans {
 		c.mu.Lock()
 		depth := len(c.queue)

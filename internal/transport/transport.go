@@ -25,6 +25,7 @@ import (
 	"github.com/kompics/kompicsmessaging-go/internal/clock"
 	"github.com/kompics/kompicsmessaging-go/internal/codec"
 	"github.com/kompics/kompicsmessaging-go/internal/faults"
+	"github.com/kompics/kompicsmessaging-go/internal/stats"
 	"github.com/kompics/kompicsmessaging-go/internal/udt"
 	"github.com/kompics/kompicsmessaging-go/internal/wire"
 )
@@ -38,10 +39,13 @@ var (
 	// ErrUnsupported reports a protocol the endpoint does not listen on
 	// or cannot dial.
 	ErrUnsupported = errors.New("transport: unsupported protocol")
-	// ErrQueueFull reports a send rejected because the destination's
-	// pending queue is at MaxPendingPerPeer. The overflow policy is
-	// fail-fast through the normal notify path — never a silent drop —
-	// so a peer outage cannot grow memory without bound.
+	// ErrQueueFull reports a message shed because the destination's
+	// pending queue was at MaxPendingPerPeer. Which message is shed is
+	// the Config.QueuePolicy's call (the arriving one under the default
+	// RejectNewest, the queue head under DropOldest), but shedding is
+	// always through the normal notify path — never a silent drop — so a
+	// peer outage cannot grow memory without bound. Policy drops carry a
+	// typed *ErrDropped; queue-pressure ones unwrap to this error.
 	ErrQueueFull = errors.New("transport: pending queue full")
 )
 
@@ -72,8 +76,14 @@ type Config struct {
 	UDT udt.Config
 	// MaxPendingPerPeer bounds the messages queued per (protocol,
 	// destination) channel while it connects or redials (default 4096).
-	// Overflowing sends fail with ErrQueueFull through notify.
+	// What happens at the bound is QueuePolicy's decision; under the
+	// default, overflowing sends fail with ErrQueueFull through notify.
 	MaxPendingPerPeer int
+	// QueuePolicy selects the overload policy for each channel's pending
+	// queue — which messages are shed, and when, once MaxPendingPerPeer
+	// bites (default RejectNewest, the original fail-fast behaviour).
+	// See policy.go for the built-in policies.
+	QueuePolicy QueuePolicy
 	// MaxDialAttempts is how many consecutive dial failures a channel
 	// tolerates before giving up — failing its queue, or falling back
 	// to TCP for UDT destinations (default 3).
@@ -137,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxPendingPerPeer <= 0 {
 		c.MaxPendingPerPeer = 4096
 	}
+	if c.QueuePolicy == nil {
+		c.QueuePolicy = RejectNewest
+	}
 	if c.MaxDialAttempts <= 0 {
 		c.MaxDialAttempts = 3
 	}
@@ -186,6 +199,14 @@ type Endpoint struct {
 	// by Close) are what gate the send path.
 	closing atomic.Bool
 
+	// dropCounts aggregates queue-policy drops per (class, reason);
+	// written by the channels' drop path, read by DropStats.
+	dropCounts [wire.NumClasses][numDropReasons]atomic.Uint64
+
+	// dropWarn throttles the drop-path warn log: under sustained
+	// overload every shed message would otherwise emit a line.
+	dropWarn *stats.LogLimiter
+
 	wg sync.WaitGroup
 }
 
@@ -212,6 +233,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		cfg:        cfg,
 		shards:     newSendShards(cfg.BackoffSeed),
 		recvShards: newRecvShards(),
+		dropWarn:   stats.NewLogLimiter(cfg.Clock, dropWarnBurst, dropWarnRefillPerSec),
 	}, nil
 }
 
@@ -303,6 +325,15 @@ func (e *Endpoint) Close() {
 // bufpool, so callers must not reuse it and must pass a distinct buffer
 // per Send (no broadcasting one slice to several destinations).
 func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notify func(error)) {
+	e.SendQoS(proto, dest, payload, wire.QoS{}, notify)
+}
+
+// SendQoS is Send with a per-message QoS annotation. The annotation rides
+// with the message into the pending queue, where the configured
+// QueuePolicy reads it under overload: Class scopes the drop accounting
+// (and coalescing), Key enables latest-value-wins replacement, Deadline
+// arms deadline expiry. A zero QoS makes SendQoS exactly Send.
+func (e *Endpoint) SendQoS(proto wire.Transport, dest string, payload []byte, qos wire.QoS, notify func(error)) {
 	fail := func(err error) {
 		if notify != nil {
 			notify(err)
@@ -341,7 +372,7 @@ func (e *Endpoint) Send(proto wire.Transport, dest string, payload []byte, notif
 	}
 	ch := e.channelLocked(s, proto, dest)
 	s.mu.Unlock()
-	ch.enqueue(outMsg{payload: payload, notify: notify})
+	ch.enqueue(outMsg{payload: payload, qos: qos, notify: notify})
 }
 
 // channelLocked returns the out-channel for (proto, dest), creating it
@@ -529,7 +560,10 @@ func (e *Endpoint) readFrames(proto wire.Transport, conn net.Conn) {
 
 type outMsg struct {
 	payload []byte
-	notify  func(error)
+	// qos is the message's annotation, read by the queue policy while the
+	// message is pending (and echoed in *ErrDropped if it is shed).
+	qos    wire.QoS
+	notify func(error)
 }
 
 // release decides m's outcome: the notification fires (if requested) and
@@ -573,6 +607,12 @@ type outChannel struct {
 	// goroutine (under mu inside nextBatch).
 	batch []outMsg
 
+	// pq is this channel's queue-policy state; its methods run under mu
+	// and operate on queue in place. timed caches the policy's NeedsTime
+	// so the default policy's send path never reads the clock.
+	pq    PendingQueue
+	timed bool
+
 	mu     sync.Mutex //kmlint:guarded
 	cond   *sync.Cond
 	queue  []outMsg
@@ -589,11 +629,21 @@ type outChannel struct {
 
 func newOutChannel(ep *Endpoint, shard *sendShard, key chanKey) *outChannel {
 	c := &outChannel{ep: ep, shard: shard, key: key, state: StateConnecting}
+	c.pq = ep.cfg.QueuePolicy.NewQueue(ep.cfg.MaxPendingPerPeer)
+	c.timed = ep.cfg.QueuePolicy.NeedsTime()
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
 func (c *outChannel) enqueue(m outMsg) {
+	// Timed policies need a timestamp, read before taking mu:
+	// clock.Virtual's Advance holds the clock lock while firing timers
+	// whose callbacks take channel locks, so Now() under c.mu would
+	// invert that order.
+	var now int64
+	if c.timed {
+		now = c.ep.cfg.Clock.Now().UnixNano()
+	}
 	c.mu.Lock()
 	if c.closed {
 		redir, err := c.redirect, c.err
@@ -605,14 +655,30 @@ func (c *outChannel) enqueue(m outMsg) {
 		m.release(err)
 		return
 	}
-	if len(c.queue) >= c.ep.cfg.MaxPendingPerPeer {
-		dest := c.key.dest
-		c.mu.Unlock()
-		m.release(fmt.Errorf("%w: %d pending to %s", ErrQueueFull, c.ep.cfg.MaxPendingPerPeer, dest))
+	q, displaced, ok := c.pq.Push(c.queue, m, now)
+	c.queue = q
+	// The displaced slice is policy scratch, valid only under mu: copy
+	// what this call must release before unlocking. One displacement
+	// (the common case — a coalesce or a head eviction) stays a value
+	// copy; only a multi-message sweep allocates.
+	var d0 dropped
+	var rest []dropped
+	switch len(displaced) {
+	case 0:
+	case 1:
+		d0 = displaced[0]
+	default:
+		rest = append(rest, displaced...)
+	}
+	c.mu.Unlock()
+	if d0.reason != 0 {
+		c.dropOne(d0.msg, d0.reason)
+	}
+	c.dropMsgs(rest)
+	if !ok {
+		c.dropOne(m, DropQueueFull)
 		return
 	}
-	c.queue = append(c.queue, m)
-	c.mu.Unlock()
 	c.cond.Signal()
 }
 
@@ -621,15 +687,69 @@ func (c *outChannel) enqueue(m outMsg) {
 // the channel closed. Draining everything per wakeup is what lets the
 // writer coalesce — senders that outpace the socket accumulate a batch,
 // senders that don't get the old one-message behaviour.
+//
+// Under a timed policy the queue is run through Expire first, so a
+// message that out-waited its deadline — including across an outage's
+// redial backoff — is shed here instead of written. The timestamp is
+// read between two critical sections (same clock lock-order constraint
+// as enqueue); that is safe because only this goroutine drains, so the
+// queue can only have grown in between.
 func (c *outChannel) nextBatch() ([]outMsg, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for len(c.queue) == 0 && !c.closed {
-		c.cond.Wait()
+	if !c.timed {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			return nil, false
+		}
+		c.drainLocked()
+		return c.batch, true
 	}
-	if c.closed {
-		return nil, false
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.mu.Unlock()
+		now := c.ep.cfg.Clock.Now().UnixNano()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false
+		}
+		q, expired := c.pq.Expire(c.queue, now)
+		c.queue = q
+		// Expired is policy scratch, valid only under mu (a concurrent
+		// Push may reuse it): copy before unlocking. Expiry sweeps are
+		// off the happy path, so the allocation is acceptable.
+		var drops []dropped
+		if len(expired) > 0 {
+			drops = append(drops, expired...)
+		}
+		if len(c.queue) == 0 {
+			// Everything queued had expired; release the casualties and
+			// go back to waiting for live messages.
+			c.pq.Drained()
+			c.mu.Unlock()
+			c.dropMsgs(drops)
+			continue
+		}
+		c.drainLocked()
+		c.mu.Unlock()
+		c.dropMsgs(drops)
+		return c.batch, true
 	}
+}
+
+// drainLocked moves the whole queue into the batch scratch and resets the
+// queue (and the policy's index over it). Caller holds c.mu.
+func (c *outChannel) drainLocked() {
 	c.batch = append(c.batch[:0], c.queue...)
 	for i := range c.queue {
 		c.queue[i] = outMsg{} // drop payload/notify refs for GC
@@ -639,7 +759,7 @@ func (c *outChannel) nextBatch() ([]outMsg, bool) {
 	} else {
 		c.queue = c.queue[:0]
 	}
-	return c.batch, true
+	c.pq.Drained()
 }
 
 // releaseBatch clears the drain scratch after its messages have been
@@ -655,6 +775,52 @@ func (c *outChannel) releaseBatch() {
 	}
 }
 
+// Drop-path warn throttling: under sustained overload a policy can shed
+// thousands of messages per second, so the warn log is a token bucket
+// (same shape as core's unsendable-message warn) — one line per burst,
+// with the suppressed count carried on the next allowed line.
+const (
+	dropWarnBurst        = 10
+	dropWarnRefillPerSec = 1
+)
+
+// dropOne settles one policy-dropped message: the per-(class, reason)
+// counter is charged exactly once, notify fires with a typed *ErrDropped,
+// the payload returns to bufpool (via release), and a rate-limited warn
+// records the shed. Never called under channel or shard locks — notify is
+// a user callback.
+func (c *outChannel) dropOne(m outMsg, reason DropReason) {
+	e := c.ep
+	cls := m.qos.Class
+	if !cls.Valid() {
+		cls = wire.ClassReliable
+	}
+	e.dropCounts[cls][reason-1].Add(1)
+	m.release(&ErrDropped{
+		Reason: reason,
+		Class:  m.qos.Class,
+		Proto:  c.key.proto,
+		Dest:   c.key.dest,
+		Limit:  e.cfg.MaxPendingPerPeer,
+	})
+	if ok, suppressed := e.dropWarn.Allow(); ok {
+		e.cfg.Logger.Warn("transport: queue policy dropped message",
+			"policy", e.cfg.QueuePolicy.Name(),
+			"reason", reason.String(),
+			"class", cls.String(),
+			"proto", c.key.proto.String(),
+			"dest", c.key.dest,
+			"suppressed", suppressed)
+	}
+}
+
+// dropMsgs settles a batch of policy drops.
+func (c *outChannel) dropMsgs(drops []dropped) {
+	for _, d := range drops {
+		c.dropOne(d.msg, d.reason)
+	}
+}
+
 // close fails all queued messages and stops the run loop.
 func (c *outChannel) close(err error) {
 	c.mu.Lock()
@@ -667,6 +833,7 @@ func (c *outChannel) close(err error) {
 	c.state = StateDraining
 	pending := c.queue
 	c.queue = nil
+	c.pq.Drained()
 	c.mu.Unlock()
 	c.cond.Broadcast()
 	for _, m := range pending {
@@ -867,6 +1034,7 @@ func (e *Endpoint) fallbackToTCP(c *outChannel, dialErr error) bool {
 	c.redirect = tcp
 	pending := c.queue
 	c.queue = nil
+	c.pq.Drained()
 	c.state = StateDown
 	c.mu.Unlock()
 	c.cond.Broadcast()
